@@ -1,0 +1,16 @@
+"""E1 / Figure 1 — regenerate the attack x artifact check matrix."""
+
+from repro.experiments import run_attack_surface
+
+
+def test_fig1_attack_surface(benchmark, report):
+    result = benchmark.pedantic(run_attack_surface, rounds=1, iterations=1)
+    lines = [
+        "Figure 1 (right table): state revealed by each concrete attack",
+        "",
+        result.to_table(),
+        "",
+        f"matches paper matrix: {result.matches_paper}",
+    ]
+    report("e01_fig1_attack_surface", lines)
+    assert result.matches_paper

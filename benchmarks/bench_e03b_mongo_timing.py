@@ -1,0 +1,31 @@
+"""E3b — MongoDB timing leakage: oplog + self-timestamping ObjectIds."""
+
+from repro.experiments.e03b_mongo_timing import run_mongo_timing
+
+
+def test_mongo_timing_recovery(benchmark, report):
+    result = benchmark.pedantic(
+        run_mongo_timing,
+        kwargs={"num_hours": 48, "docs_per_burst": 25},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E3b: MongoDB analog of the Section 3 timing leakage",
+        "",
+        f"documents inserted (bursty, 48h)  : {result.documents_inserted}",
+        f"oplog entries retained            : {result.oplog_retained}",
+        f"oplog window                      : {result.oplog_window_seconds:,d} s",
+        f"activity hours detected from oplog: {result.burst_hours_detected} "
+        f"(true: {result.true_burst_hours})",
+        f"ObjectId creation times exact     : {result.objectid_times_exact}",
+        "",
+        "paper: 'A similar mechanism for replicated transactions in MongoDB",
+        "also records transaction timestamps. Even without this log, the",
+        "default primary key of each MongoDB document contains its creation",
+        "time.' Both recoveries confirmed - the _id one is exact with no",
+        "log access at all.",
+    ]
+    report("e03b_mongo_timing", lines)
+    assert result.objectid_times_exact
+    assert result.burst_hours_detected == result.true_burst_hours

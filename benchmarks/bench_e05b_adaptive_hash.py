@@ -1,0 +1,29 @@
+"""E5b — the adaptive hash index leaks hot keys to a memory snapshot."""
+
+from repro.experiments.e05b_adaptive_hash import run_adaptive_hash_leak
+
+
+def test_adaptive_hash_hot_key_leak(benchmark, report):
+    result = benchmark.pedantic(
+        run_adaptive_hash_leak,
+        kwargs={"num_keys": 50, "num_lookups": 3_000},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E5b: hot-key identification through the adaptive hash index",
+        "(values RND-encrypted; the access pattern is the only signal)",
+        "",
+        f"distinct keys                  : {result.num_keys}",
+        f"Zipf point lookups             : {result.num_lookups}",
+        f"keys promoted into the AHI     : {result.promoted_keys}",
+        f"hottest key correctly topmost  : {result.hottest_identified}",
+        f"top-5 identities recovered     : {result.top5_recovery_rate:.0%}",
+        "",
+        "paper (Section 5): 'If a page is accessed often, InnoDB indexes its",
+        "contents in an adaptive hash index' - the promoted set + counters",
+        "hand a snapshot attacker the workload's hot set on a plate.",
+    ]
+    report("e05b_adaptive_hash", lines)
+    assert result.hottest_identified
+    assert result.top5_recovery_rate >= 0.8

@@ -1,0 +1,36 @@
+"""E10 — Arx: transaction logs leak the full range-query transcript."""
+
+from repro.experiments import run_arx_transcript
+
+
+def test_arx_transcript_reconstruction(benchmark, report):
+    result = benchmark.pedantic(
+        run_arx_transcript,
+        kwargs={"num_values": 40, "num_queries": 120},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E10: Arx repair writes reconstructed from a disk-theft snapshot",
+        "",
+        f"index values                     : {result.num_values}",
+        f"range queries issued             : {result.num_queries}",
+        f"queries reconstructed from logs  : {result.queries_reconstructed}",
+        f"exact visited-set accuracy       : {result.transcript_set_accuracy:.0%}",
+        f"treap root identified            : {result.root_identified}",
+        f"ancestry inference precision     : {result.ancestry_precision:.0%}",
+        f"ancestry inference recall        : {result.ancestry_recall:.0%}",
+        f"value recovery (freq matching)   : {result.value_recovery_rate:.0%}",
+        f"mean normalized rank error       : {result.mean_rank_error:.3f}"
+        f"  (random ~ 0.33)",
+        "",
+        "paper: 'a snapshot of the system's persistent state will contain a",
+        "transcript of every range query'; exact value recovery from the",
+        "frequencies is the part the paper leaves to future work - the",
+        "approximate matching here already beats random rank placement.",
+    ]
+    report("e10_arx_transcript", lines)
+    assert result.transcript_set_accuracy == 1.0
+    assert result.root_identified
+    assert result.ancestry_precision >= 0.8
+    assert result.mean_rank_error < 0.33

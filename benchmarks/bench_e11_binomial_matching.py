@@ -1,0 +1,54 @@
+"""E11 — binomial + order-constrained matching recovery of ORE columns."""
+
+from repro.experiments import run_binomial_matching
+
+
+def test_binomial_matching_recovery(benchmark, report):
+    result = benchmark.pedantic(
+        run_binomial_matching, kwargs={"num_rows": 2_000}, rounds=1, iterations=1
+    )
+    lines = [
+        "E11: recovery of a full-order-leaking (Seabed-class) ORE column",
+        "",
+        f"rows (Zipf-distributed ages)    : {result.num_ciphertexts}",
+        f"plaintext domain size           : {result.domain_size}",
+        f"binomial: correct MSBs per value: "
+        f"{result.binomial_mean_correct_msbs:.2f} / 8",
+        f"matching: distinct-value recovery: {result.matching_recovery_rate:.0%}",
+        f"matching: row-weighted recovery  : "
+        f"{result.matching_weighted_recovery_rate:.0%}",
+    ]
+    report("e11_binomial_matching", lines)
+    assert result.binomial_mean_correct_msbs >= 5
+    assert result.matching_weighted_recovery_rate >= 0.6
+
+
+def test_aux_model_quality_ablation(benchmark, report):
+    """Ablation: recovery vs rows available and model noise."""
+
+    def sweep():
+        rows_sweep = [
+            run_binomial_matching(num_rows=n, seed=4) for n in (300, 1_000, 3_000)
+        ]
+        noise_sweep = [
+            run_binomial_matching(num_rows=2_000, model_noise=z, seed=4)
+            for z in (0.0, 1.0, 4.0)
+        ]
+        return rows_sweep, noise_sweep
+
+    rows_sweep, noise_sweep = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["E11 ablation: weighted recovery vs data volume / model noise", ""]
+    lines.append(f"{'rows':>6s} {'weighted recovery':>18s}")
+    for r in rows_sweep:
+        lines.append(
+            f"{r.num_ciphertexts:>6d} {r.matching_weighted_recovery_rate:>17.0%}"
+        )
+    lines.append("")
+    lines.append(f"{'noise':>6s} {'weighted recovery':>18s}")
+    for r in noise_sweep:
+        lines.append(
+            f"{r.model_noise:>6.1f} {r.matching_weighted_recovery_rate:>17.0%}"
+        )
+    report("e11_ablation", lines)
+    weighted = [r.matching_weighted_recovery_rate for r in rows_sweep]
+    assert weighted[-1] >= weighted[0]

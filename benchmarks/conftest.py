@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's reported results and emits a
+paper-vs-measured table — printed to stdout (visible with ``-s``) and saved
+under ``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write (and echo) a result table for one experiment."""
+
+    def _report(name: str, lines: Iterable[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _report

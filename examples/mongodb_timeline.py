@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""MongoDB: the database that timestamps itself.
+
+Paper Section 3: replica-set deployments keep an oplog of timestamped
+writes — and even with every log disabled, "the default primary key of each
+MongoDB document contains its creation time."
+
+Run: ``python examples/mongodb_timeline.py``
+"""
+
+import random
+
+from repro import SimClock
+from repro.mongo import DocumentStore, creation_times_from_ids
+from repro.mongo.forensics import (
+    capture_disk,
+    reconstruct_oplog_history,
+    write_rate_timeline,
+)
+
+
+def main() -> None:
+    rng = random.Random(1)
+    clock = SimClock(start=1_600_000_000)
+    store = DocumentStore(clock=clock)
+
+    print("== a clinic's appointment system, over one work week ==")
+    for day in range(5):
+        for hour in (9, 11, 14, 16):  # business-hours bursts
+            clock.advance(3600)
+            for _ in range(rng.randint(2, 6)):
+                store.insert_one(
+                    "appointments",
+                    {"patient": f"p{rng.randrange(1000)}", "day": day},
+                )
+        clock.advance(20 * 3600)  # overnight
+    store.delete_many("appointments", {"day": 0})
+    print(f"{store.count('appointments')} live documents")
+
+    print("\n== attacker steals the data directory ==")
+    artifacts = capture_disk(store)
+
+    print("\noplog: the full write history with timestamps (first 5):")
+    for line in reconstruct_oplog_history(artifacts.oplog_entries)[:5]:
+        print(f"  {line}")
+
+    timeline = write_rate_timeline(artifacts.oplog_entries, bucket_seconds=24 * 3600)
+    print("\nwrites per day (workload rhythm from one snapshot):")
+    for bucket, count in sorted(timeline.items()):
+        print(f"  day starting {bucket}: {'#' * count} ({count})")
+
+    print("\n'even without this log': creation times from _id alone (first 5):")
+    ids = artifacts.collection_ids["appointments"]
+    for hex_id, stamp in creation_times_from_ids(ids)[:5]:
+        print(f"  {hex_id} created at {stamp}")
+
+    deleted = len(artifacts.oplog_entries) - store.oplog.num_entries
+    print(
+        "\n=> insertion timeline, deletion history, and activity rhythm, all"
+        "\n   from persistent state - no 'snapshot attacker' blindness here"
+        " either."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""SQL injection: watch other users' queries through diagnostic tables.
+
+Paper Section 4: "modern DBMS's include tables — extractable via SQL
+injection — that store a great deal of performance statistics ... By
+injecting a SELECT query on this table, an attacker can obtain queries made
+by other users."
+
+Run: ``python examples/sql_injection_diagnostics.py``
+"""
+
+from repro import MySQLServer
+from repro.forensics import extract_diagnostics_via_injection
+
+
+def main() -> None:
+    server = MySQLServer()
+    doctor = server.connect("clinic-app")
+    attacker = server.connect("clinic-app")  # the injectable connection
+
+    print("== victim workload: a clinic application ==")
+    server.execute(
+        doctor,
+        "CREATE TABLE visits (id INT PRIMARY KEY, patient TEXT, reason TEXT)",
+    )
+    server.execute(
+        doctor,
+        "INSERT INTO visits (id, patient, reason) VALUES "
+        "(1, 'alice', 'hiv test'), (2, 'bob', 'checkup'), (3, 'carol', 'oncology')",
+    )
+    sensitive_queries = [
+        "SELECT * FROM visits WHERE reason = 'hiv test'",
+        "SELECT * FROM visits WHERE reason = 'oncology'",
+        "SELECT patient FROM visits WHERE id = 1",
+        "SELECT * FROM visits WHERE reason = 'hiv test'",
+    ]
+    for statement in sensitive_queries:
+        server.execute(doctor, statement)
+
+    print("\n== attacker: injected SELECTs on the diagnostic tables ==")
+    report = extract_diagnostics_via_injection(server, attacker)
+
+    print("\nqueries by other users, recovered verbatim:")
+    for text in dict.fromkeys(report.other_users_queries):  # dedupe, keep order
+        print(f"  {text}")
+
+    print("\nquery-type histogram from events_statements_summary_by_digest:")
+    for digest_text, count in sorted(
+        report.digest_histogram.items(), key=lambda kv: -kv[1]
+    )[:5]:
+        print(f"  {count:>3d}x  {digest_text}")
+
+    print("\nprocesslist at injection time:")
+    for row in report.processlist:
+        print(f"  session {row[0]} ({row[1]}): {row[2]} {row[5] or ''}")
+
+    hiv = [t for t in report.other_users_queries if "hiv" in t]
+    print(
+        f"\n=> the attacker learned {len(hiv)} queries about HIV tests "
+        f"without touching the visits table's data."
+    )
+
+
+if __name__ == "__main__":
+    main()

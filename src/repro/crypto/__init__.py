@@ -1,0 +1,56 @@
+"""Cryptographic primitives and property-revealing encryption (PRE) schemes.
+
+Everything here is built from :mod:`hashlib`/:mod:`hmac` only (the execution
+environment has no crypto libraries). The schemes are **structurally
+faithful**: they have the same ciphertext shapes, token flows, and — most
+importantly — the same *leakage profiles* as the schemes the paper discusses.
+The paper's attacks never break the underlying cipher; they exploit leakage
+(tokens, comparison results, digests, histograms), which these implementations
+reproduce exactly. They are NOT production cryptography.
+
+Scheme inventory (paper Section 6):
+
+* :mod:`.symmetric` — randomized (RND) and deterministic (DET) encryption.
+* :mod:`.ore_lewi_wu` — the Lewi-Wu left/right ORE over bit blocks.
+* :mod:`.sse` — searchable symmetric encryption with query trapdoors
+  (CryptDB / Mylar / Song-et-al. class).
+* :mod:`.ashe` — Seabed's additively symmetric homomorphic encryption.
+* :mod:`.splashe` — Seabed's SPLASHE and enhanced-SPLASHE column encoders.
+"""
+
+from .primitives import Prf, StreamCipher, derive_key, hkdf, mac, prf_int
+from .symmetric import DetCipher, RndCipher
+from .ore_lewi_wu import (
+    LewiWuCompareResult,
+    LewiWuLeftCiphertext,
+    LewiWuOre,
+    LewiWuRightCiphertext,
+)
+from .sse import SseClient, SseIndex, SseToken
+from .ashe import AsheCipher, AsheCiphertext
+from .ope import OpeCipher
+from .splashe import SplasheColumnSet, SplasheEncoder, EnhancedSplasheEncoder
+
+__all__ = [
+    "Prf",
+    "StreamCipher",
+    "derive_key",
+    "hkdf",
+    "mac",
+    "prf_int",
+    "RndCipher",
+    "DetCipher",
+    "LewiWuOre",
+    "LewiWuLeftCiphertext",
+    "LewiWuRightCiphertext",
+    "LewiWuCompareResult",
+    "SseClient",
+    "SseIndex",
+    "SseToken",
+    "AsheCipher",
+    "OpeCipher",
+    "AsheCiphertext",
+    "SplasheEncoder",
+    "EnhancedSplasheEncoder",
+    "SplasheColumnSet",
+]

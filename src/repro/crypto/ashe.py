@@ -1,0 +1,111 @@
+"""ASHE: Seabed's additively symmetric homomorphic encryption (OSDI 2016).
+
+ASHE encrypts an integer ``m`` with row identifier ``i`` as
+
+    c_i = (m + F(K, i) - F(K, i - 1)) mod M
+
+so that the sum of ciphertexts over a contiguous id range telescopes: the
+aggregator returns ``sum(c_i)`` and the client removes just the two boundary
+masks. This gives additive aggregation over encrypted data with only
+symmetric-key operations — the property Seabed's analytics pipeline
+(and SPLASHE on top of it, :mod:`repro.crypto.splashe`) relies on.
+
+Individual ASHE ciphertexts are semantically secure (each mask is a fresh
+PRF output), which is exactly why Seabed's *leakage* in the paper comes not
+from the ciphertexts but from the query-histogram side channel in
+``performance_schema``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..errors import CryptoError
+from .primitives import Prf, derive_key
+
+#: Default modulus: 64-bit arithmetic, plenty for aggregation workloads.
+DEFAULT_MODULUS = 1 << 64
+
+
+@dataclass(frozen=True)
+class AsheCiphertext:
+    """An ASHE ciphertext: masked value plus the id range it covers.
+
+    ``first_id``/``last_id`` delimit the contiguous run of row ids whose
+    masks this ciphertext carries; fresh encryptions cover a single id
+    (``first_id == last_id``) and homomorphic addition of adjacent runs
+    extends the range.
+    """
+
+    value: int
+    first_id: int
+    last_id: int
+
+
+class AsheCipher:
+    """Seabed's ASHE scheme over ``Z_M`` with PRF chain masks."""
+
+    def __init__(self, key: bytes, modulus: int = DEFAULT_MODULUS) -> None:
+        if modulus <= 1:
+            raise CryptoError(f"modulus must exceed 1, got {modulus}")
+        self._prf = Prf(derive_key(key, "ashe-mask"))
+        self.modulus = modulus
+
+    def _mask(self, row_id: int) -> int:
+        # F(K, 0) is defined as 0 so that id ranges starting at 1 telescope
+        # to a single boundary mask.
+        if row_id <= 0:
+            return 0
+        return self._prf.eval_int(self.modulus, "mask", row_id)
+
+    def encrypt(self, value: int, row_id: int) -> AsheCiphertext:
+        """Encrypt ``value`` bound to ``row_id`` (ids must be >= 1)."""
+        if row_id < 1:
+            raise CryptoError(f"row ids start at 1, got {row_id}")
+        masked = (value + self._mask(row_id) - self._mask(row_id - 1)) % self.modulus
+        return AsheCiphertext(value=masked, first_id=row_id, last_id=row_id)
+
+    def add(self, a: AsheCiphertext, b: AsheCiphertext) -> AsheCiphertext:
+        """Homomorphically add two ciphertexts over adjacent id ranges."""
+        if b.first_id != a.last_id + 1:
+            raise CryptoError(
+                f"id ranges must be adjacent: [{a.first_id},{a.last_id}] "
+                f"then [{b.first_id},{b.last_id}]"
+            )
+        return AsheCiphertext(
+            value=(a.value + b.value) % self.modulus,
+            first_id=a.first_id,
+            last_id=b.last_id,
+        )
+
+    def aggregate(self, ciphertexts: Sequence[AsheCiphertext]) -> AsheCiphertext:
+        """Sum a run of ciphertexts covering consecutive id ranges."""
+        if not ciphertexts:
+            raise CryptoError("cannot aggregate an empty ciphertext sequence")
+        total = ciphertexts[0]
+        for ct in ciphertexts[1:]:
+            total = self.add(total, ct)
+        return total
+
+    def decrypt(self, ciphertext: AsheCiphertext) -> int:
+        """Remove the boundary masks and recover the (summed) plaintext.
+
+        The result is centered into ``(-M/2, M/2]`` so that small negative
+        sums (possible with signed data) round-trip correctly.
+        """
+        raw = (
+            ciphertext.value
+            - self._mask(ciphertext.last_id)
+            + self._mask(ciphertext.first_id - 1)
+        ) % self.modulus
+        if raw > self.modulus // 2:
+            raw -= self.modulus
+        return raw
+
+    def encrypt_column(self, values: Iterable[int], start_id: int = 1) -> List[AsheCiphertext]:
+        """Encrypt a whole column with consecutive row ids from ``start_id``."""
+        return [
+            self.encrypt(value, start_id + offset)
+            for offset, value in enumerate(values)
+        ]

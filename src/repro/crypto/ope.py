@@ -1,0 +1,115 @@
+"""Order-preserving encryption (Boldyreva-Chenette-Lee-O'Neill class).
+
+Paper §2: "Some PRE ciphertexts always leak [4, 7], enabling powerful
+snapshot attacks that recover plaintexts [10, 23, 39]." OPE is the canonical
+example: ``x < y  =>  Enc(x) < Enc(y)`` directly on ciphertexts, so a static
+snapshot of the column already carries the full order — no queries needed.
+
+Construction: a keyed pseudorandom **strictly monotone** mapping from the
+plaintext domain into a sparse ciphertext domain, built by lazy binary
+sampling (the standard recursive construction): the ciphertext for the
+midpoint of a plaintext interval is drawn PRF-deterministically from the
+middle portion of the corresponding ciphertext interval, then recursion
+descends left/right. Deterministic per key, stateless, and — like all OPE —
+*inference-broken by design*: see :func:`repro.attacks.sorting.sorting_attack`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import CryptoError
+from .primitives import Prf, derive_key
+
+
+class OpeCipher:
+    """Order-preserving encryption of ``[0, 2^plaintext_bits)`` integers.
+
+    Parameters
+    ----------
+    key:
+        Master key.
+    plaintext_bits:
+        Domain size of plaintexts.
+    expansion_bits:
+        Ciphertext domain is ``2^(plaintext_bits + expansion_bits)``; more
+        expansion means sparser (and marginally less leaky) ciphertexts.
+    """
+
+    def __init__(self, key: bytes, plaintext_bits: int = 16, expansion_bits: int = 16) -> None:
+        if plaintext_bits <= 0 or expansion_bits <= 0:
+            raise CryptoError("plaintext_bits and expansion_bits must be positive")
+        if plaintext_bits + expansion_bits > 52:
+            raise CryptoError("combined domain above 52 bits is unsupported")
+        self.plaintext_bits = plaintext_bits
+        self.expansion_bits = expansion_bits
+        self._prf = Prf(derive_key(key, "ope"))
+        self._cache: Dict[Tuple[int, int, int, int], int] = {}
+
+    @property
+    def plaintext_domain(self) -> int:
+        return 1 << self.plaintext_bits
+
+    @property
+    def ciphertext_domain(self) -> int:
+        return 1 << (self.plaintext_bits + self.expansion_bits)
+
+    def encrypt(self, plaintext: int) -> int:
+        """Map ``plaintext`` to its order-preserving ciphertext."""
+        if not 0 <= plaintext < self.plaintext_domain:
+            raise CryptoError(
+                f"plaintext {plaintext} outside [0, {self.plaintext_domain})"
+            )
+        lo, hi = 0, self.plaintext_domain - 1           # plaintext interval
+        clo, chi = 0, self.ciphertext_domain - 1        # ciphertext interval
+        while True:
+            mid = (lo + hi) // 2
+            cmid = self._sample_midpoint(lo, hi, clo, chi)
+            if plaintext == mid:
+                return cmid
+            if plaintext < mid:
+                hi, chi = mid - 1, cmid - 1
+            else:
+                lo, clo = mid + 1, cmid + 1
+            if lo > hi:  # pragma: no cover - invariant: loop exits via ==
+                raise CryptoError("OPE interval exhausted")
+
+    def _sample_midpoint(self, lo: int, hi: int, clo: int, chi: int) -> int:
+        """PRF-deterministic ciphertext for the midpoint of ``[lo, hi]``.
+
+        The midpoint lands in the middle band of the ciphertext interval,
+        leaving enough room on each side for the remaining plaintexts
+        (strict monotonicity needs ``left`` values below and ``right``
+        above).
+        """
+        slot = (lo, hi, clo, chi)
+        cached = self._cache.get(slot)
+        if cached is not None:
+            return cached
+        mid = (lo + hi) // 2
+        left_needed = mid - lo          # plaintexts that must fit below
+        right_needed = hi - mid         # plaintexts that must fit above
+        low_bound = clo + left_needed
+        high_bound = chi - right_needed
+        if low_bound > high_bound:
+            raise CryptoError("ciphertext domain too small for the plaintext domain")
+        width = high_bound - low_bound + 1
+        offset = self._prf.eval_int(width, "mid", lo, hi, clo, chi)
+        cmid = low_bound + offset
+        self._cache[slot] = cmid
+        return cmid
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Invert by binary search (the mapping is strictly monotone)."""
+        lo, hi = 0, self.plaintext_domain - 1
+        clo, chi = 0, self.ciphertext_domain - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            cmid = self._sample_midpoint(lo, hi, clo, chi)
+            if ciphertext == cmid:
+                return mid
+            if ciphertext < cmid:
+                hi, chi = mid - 1, cmid - 1
+            else:
+                lo, clo = mid + 1, cmid + 1
+        raise CryptoError(f"ciphertext {ciphertext} is not in the scheme's image")

@@ -1,0 +1,304 @@
+"""Lewi-Wu order-revealing encryption (CCS 2016), block construction.
+
+The scheme splits an ``n``-bit plaintext into ``d = n / k`` blocks of ``k``
+bits (most-significant block first) and produces two kinds of ciphertexts:
+
+* a **left ciphertext** (the *query token*: small, used for the endpoints of
+  range queries), and
+* a **right ciphertext** (larger, stored in the database).
+
+``compare(left(x), right(y))`` reveals the order of ``x`` and ``y`` — and,
+inherently, the index of the first block where they differ. With ``k = 1``
+that index is the length of the shared bit-prefix, which is exactly the
+leakage the paper's Section 6 simulation aggregates: "query tokens reveal
+ordering information and, in some parameter regimes, individual plaintext
+bits."
+
+Construction (faithful to the paper's small-domain-to-block lifting):
+
+* For block ``i`` with plaintext prefix ``p = x_1..x_{i-1}``, the left
+  ciphertext stores ``(pos, key)`` where ``key = F(K, i, p, x_i)`` and ``pos``
+  is ``x_i``'s slot under a permutation of ``[2^k]`` keyed by ``F(K, i, p)``.
+* The right ciphertext stores a nonce ``r`` and, for each block ``i`` with
+  prefix ``q = y_1..y_{i-1}``, a table with an entry for every candidate
+  block value ``v``: ``slot π_q(v) = (CMP(v, y_i) + H(F(K, i, q, v), r)) mod 3``.
+* Comparison walks blocks in order; while prefixes agree the left key matches
+  the right table's PRF key, so unmasking yields ``CMP(x_i, y_i)``. The first
+  nonzero unmask is the answer.
+
+When prefixes have already diverged at an earlier block the walk has already
+returned, so mismatched-prefix slots are never consulted — their masked
+values are indistinguishable from random, which is where the scheme's
+security argument lives.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import CryptoError
+from .primitives import Prf, derive_key, keystream_permutation
+
+_NONCE_LEN = 16
+
+
+def _cmp(a: int, b: int) -> int:
+    """Three-way comparison encoded as 0 (=), 1 (<), 2 (>) modulo 3."""
+    if a == b:
+        return 0
+    return 1 if a < b else 2
+
+
+@dataclass(frozen=True)
+class LewiWuLeftCiphertext:
+    """The query token: per-block ``(slot, key)`` pairs.
+
+    This is what a client sends for each endpoint of a range query — and
+    what the paper shows ends up recoverable from query text in logs,
+    diagnostic tables, and the DBMS heap.
+    """
+
+    blocks: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def to_hex(self) -> str:
+        """Serialize for embedding in SQL text (2 bytes slot + 32-byte key)."""
+        parts = []
+        for pos, key in self.blocks:
+            parts.append(pos.to_bytes(2, "little"))
+            parts.append(key)
+        return b"".join(parts).hex()
+
+    @classmethod
+    def from_hex(cls, text: str) -> "LewiWuLeftCiphertext":
+        """Parse a token carved out of query text or a memory dump."""
+        raw = bytes.fromhex(text)
+        stride = 2 + 32
+        if not raw or len(raw) % stride != 0:
+            raise CryptoError(f"malformed left ciphertext of {len(raw)} bytes")
+        blocks = []
+        for offset in range(0, len(raw), stride):
+            pos = int.from_bytes(raw[offset : offset + 2], "little")
+            key = raw[offset + 2 : offset + stride]
+            blocks.append((pos, key))
+        return cls(blocks=tuple(blocks))
+
+
+@dataclass(frozen=True)
+class LewiWuRightCiphertext:
+    """The stored ciphertext: a nonce and per-block masked comparison tables."""
+
+    nonce: bytes
+    tables: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.tables)
+
+    def to_bytes(self) -> bytes:
+        """Serialize for storage in a BLOB column."""
+        if any(len(t) != len(self.tables[0]) for t in self.tables):
+            raise CryptoError("ragged right-ciphertext tables")
+        width = len(self.tables[0]) if self.tables else 0
+        head = len(self.tables).to_bytes(2, "little") + width.to_bytes(2, "little")
+        body = bytes(v for table in self.tables for v in table)
+        return head + self.nonce + body
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "LewiWuRightCiphertext":
+        """Parse a stored right ciphertext."""
+        if len(raw) < 4 + _NONCE_LEN:
+            raise CryptoError("right ciphertext too short")
+        num_blocks = int.from_bytes(raw[0:2], "little")
+        width = int.from_bytes(raw[2:4], "little")
+        nonce = raw[4 : 4 + _NONCE_LEN]
+        body = raw[4 + _NONCE_LEN :]
+        if len(body) != num_blocks * width:
+            raise CryptoError(
+                f"right ciphertext body of {len(body)} bytes, expected "
+                f"{num_blocks * width}"
+            )
+        tables = tuple(
+            tuple(body[i * width : (i + 1) * width])
+            for i in range(num_blocks)
+        )
+        return cls(nonce=nonce, tables=tables)
+
+
+@dataclass(frozen=True)
+class LewiWuCompareResult:
+    """Outcome of an honest left-vs-right comparison.
+
+    Attributes
+    ----------
+    order:
+        ``-1`` if the left plaintext is smaller, ``0`` if equal, ``1`` if
+        greater.
+    first_diff_block:
+        Index (0-based) of the first block where the plaintexts differ, or
+        ``None`` when equal. This is the scheme's inherent leakage beyond
+        order; with 1-bit blocks it equals the shared bit-prefix length.
+    """
+
+    order: int
+    first_diff_block: Optional[int]
+
+
+class LewiWuOre:
+    """Lewi-Wu ORE over ``bit_length``-bit integers with ``block_bits`` blocks.
+
+    Parameters
+    ----------
+    key:
+        Master secret key (>= 16 bytes).
+    bit_length:
+        Plaintext domain is ``[0, 2**bit_length)``. Default 32, matching the
+        paper's simulation.
+    block_bits:
+        Block size ``k``; must divide ``bit_length``. The paper's simulation
+        uses ``k = 1``. Larger blocks leak less (coarser first-diff index)
+        but blow up right-ciphertext size as ``2^k`` per block.
+    rand:
+        Optional nonce source for deterministic tests; defaults to
+        :func:`os.urandom`.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        bit_length: int = 32,
+        block_bits: int = 1,
+        rand: Optional[Callable[[int], bytes]] = None,
+    ) -> None:
+        if bit_length <= 0:
+            raise CryptoError(f"bit_length must be positive, got {bit_length}")
+        if block_bits <= 0 or bit_length % block_bits != 0:
+            raise CryptoError(
+                f"block_bits ({block_bits}) must divide bit_length ({bit_length})"
+            )
+        self.bit_length = bit_length
+        self.block_bits = block_bits
+        self.num_blocks = bit_length // block_bits
+        self.block_domain = 1 << block_bits
+        self._prf = Prf(derive_key(key, "ore-block"))
+        self._perm_key = derive_key(key, "ore-perm")
+        self._mask = Prf(derive_key(key, "ore-mask"))
+        self._rand = rand or os.urandom
+
+    # -- helpers ---------------------------------------------------------
+
+    def blocks_of(self, value: int) -> List[int]:
+        """Split ``value`` into blocks, most-significant first."""
+        if not 0 <= value < (1 << self.bit_length):
+            raise CryptoError(
+                f"plaintext {value} outside [0, 2^{self.bit_length})"
+            )
+        out = []
+        for i in range(self.num_blocks):
+            shift = self.bit_length - (i + 1) * self.block_bits
+            out.append((value >> shift) & (self.block_domain - 1))
+        return out
+
+    def _permutation(self, block_index: int, prefix: Tuple[int, ...]) -> List[int]:
+        label = f"{block_index}:" + ",".join(str(b) for b in prefix)
+        return keystream_permutation(self._perm_key, label, self.block_domain)
+
+    def _block_key(self, block_index: int, prefix: Tuple[int, ...], v: int) -> bytes:
+        return self._prf.eval(block_index, bytes(prefix), v)
+
+    def _mask_value(self, block_key: bytes, nonce: bytes) -> int:
+        return int.from_bytes(self._mask.eval(block_key, nonce), "little") % 3
+
+    # -- encryption ------------------------------------------------------
+
+    def encrypt_left(self, value: int) -> LewiWuLeftCiphertext:
+        """Produce the query token (left ciphertext) for ``value``."""
+        blocks = self.blocks_of(value)
+        out = []
+        for i, x_i in enumerate(blocks):
+            prefix = tuple(blocks[:i])
+            perm = self._permutation(i, prefix)
+            pos = perm[x_i]
+            key = self._block_key(i, prefix, x_i)
+            out.append((pos, key))
+        return LewiWuLeftCiphertext(blocks=tuple(out))
+
+    def encrypt_right(self, value: int) -> LewiWuRightCiphertext:
+        """Produce the stored (right) ciphertext for ``value``."""
+        blocks = self.blocks_of(value)
+        nonce = self._rand(_NONCE_LEN)
+        tables: List[Tuple[int, ...]] = []
+        for i, y_i in enumerate(blocks):
+            prefix = tuple(blocks[:i])
+            perm = self._permutation(i, prefix)
+            table = [0] * self.block_domain
+            for v in range(self.block_domain):
+                block_key = self._block_key(i, prefix, v)
+                masked = (_cmp(v, y_i) + self._mask_value(block_key, nonce)) % 3
+                table[perm[v]] = masked
+            tables.append(tuple(table))
+        return LewiWuRightCiphertext(nonce=nonce, tables=tuple(tables))
+
+    # -- evaluation ------------------------------------------------------
+
+    def compare(
+        self, left: LewiWuLeftCiphertext, right: LewiWuRightCiphertext
+    ) -> LewiWuCompareResult:
+        """Honest server-side comparison of a token against a stored value.
+
+        Returns the order of (left plaintext) vs (right plaintext) plus the
+        first-differing-block index, which is the comparison's inherent
+        leakage.
+        """
+        if left.num_blocks != right.num_blocks:
+            raise CryptoError(
+                f"block count mismatch: left={left.num_blocks} "
+                f"right={right.num_blocks}"
+            )
+        for i, (pos, key) in enumerate(left.blocks):
+            masked = right.tables[i][pos]
+            result = (masked - self._mask_value(key, right.nonce)) % 3
+            if result == 1:
+                # v < y_i at the first differing block: left < right.
+                return LewiWuCompareResult(order=-1, first_diff_block=i)
+            if result == 2:
+                return LewiWuCompareResult(order=1, first_diff_block=i)
+        return LewiWuCompareResult(order=0, first_diff_block=None)
+
+    def right_ciphertext_size(self) -> int:
+        """Approximate stored size in bytes of one right ciphertext."""
+        # One trit per table slot (stored as a byte here) plus the nonce.
+        return _NONCE_LEN + self.num_blocks * self.block_domain
+
+
+def reference_compare(
+    x: int, y: int, bit_length: int = 32, block_bits: int = 1
+) -> LewiWuCompareResult:
+    """Plaintext reference for :meth:`LewiWuOre.compare`.
+
+    Computes the same ``(order, first_diff_block)`` pair directly from the
+    plaintexts. The test suite checks the real scheme agrees with this on
+    random inputs; the large-scale leakage benchmark (10,000 values x 100
+    tokens x 1,000 trials) uses this fast path, which is justified exactly
+    by that agreement.
+    """
+    if block_bits <= 0 or bit_length % block_bits != 0:
+        raise CryptoError(
+            f"block_bits ({block_bits}) must divide bit_length ({bit_length})"
+        )
+    num_blocks = bit_length // block_bits
+    domain_mask = (1 << block_bits) - 1
+    for i in range(num_blocks):
+        shift = bit_length - (i + 1) * block_bits
+        xb = (x >> shift) & domain_mask
+        yb = (y >> shift) & domain_mask
+        if xb != yb:
+            return LewiWuCompareResult(
+                order=-1 if xb < yb else 1, first_diff_block=i
+            )
+    return LewiWuCompareResult(order=0, first_diff_block=None)

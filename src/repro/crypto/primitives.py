@@ -1,0 +1,143 @@
+"""Core symmetric primitives built on HMAC-SHA256.
+
+The environment has no crypto libraries, so everything is derived from
+:mod:`hashlib`/:mod:`hmac`: a PRF, an HKDF-style key-derivation helper, and a
+CTR-mode stream cipher whose keystream blocks are PRF outputs. These are
+standard constructions (HMAC is a PRF under usual assumptions), adequate for
+modeling leakage profiles; they have not been reviewed for production use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Union
+
+from ..errors import CryptoError
+
+_DIGEST = hashlib.sha256
+_BLOCK = 32  # SHA-256 output size
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+
+def _as_bytes(part: Union[BytesLike, str, int]) -> bytes:
+    """Normalize a PRF-input part to bytes with an unambiguous encoding."""
+    if isinstance(part, (bytes, bytearray, memoryview)):
+        raw = bytes(part)
+        return len(raw).to_bytes(8, "little") + b"\x00" + raw
+    if isinstance(part, str):
+        raw = part.encode("utf-8")
+        return len(raw).to_bytes(8, "little") + b"\x01" + raw
+    if isinstance(part, int):
+        if part < 0:
+            raise CryptoError(f"PRF integer inputs must be non-negative: {part}")
+        raw = part.to_bytes((part.bit_length() + 7) // 8 or 1, "little")
+        return len(raw).to_bytes(8, "little") + b"\x02" + raw
+    raise CryptoError(f"unsupported PRF input type: {type(part).__name__}")
+
+
+def mac(key: bytes, *parts: Union[BytesLike, str, int]) -> bytes:
+    """HMAC-SHA256 over an unambiguous encoding of ``parts``."""
+    if not key:
+        raise CryptoError("MAC key must be non-empty")
+    h = hmac.new(key, digestmod=_DIGEST)
+    for part in parts:
+        h.update(_as_bytes(part))
+    return h.digest()
+
+
+class Prf:
+    """A keyed pseudorandom function ``{inputs} -> 32 bytes``.
+
+    Accepts mixed byte/str/int inputs; each part is length-prefixed and
+    type-tagged so distinct input tuples can never collide.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise CryptoError("PRF key must be at least 16 bytes")
+        self._key = bytes(key)
+
+    def eval(self, *parts: Union[BytesLike, str, int]) -> bytes:
+        """Return the 32-byte PRF output for ``parts``."""
+        return mac(self._key, *parts)
+
+    def eval_int(self, modulus: int, *parts: Union[BytesLike, str, int]) -> int:
+        """Return a PRF output reduced modulo ``modulus``."""
+        if modulus <= 0:
+            raise CryptoError(f"modulus must be positive, got {modulus}")
+        return int.from_bytes(self.eval(*parts), "little") % modulus
+
+
+def prf_int(key: bytes, modulus: int, *parts: Union[BytesLike, str, int]) -> int:
+    """One-shot convenience wrapper around :meth:`Prf.eval_int`."""
+    return Prf(key).eval_int(modulus, *parts)
+
+
+def derive_key(master: bytes, label: str, index: int = 0) -> bytes:
+    """Derive an independent 32-byte subkey from ``master`` for ``label``."""
+    return mac(master, "repro-kdf", label, index)
+
+
+def hkdf(master: bytes, label: str, length: int) -> bytes:
+    """Expand ``master`` into ``length`` bytes bound to ``label``."""
+    if length <= 0:
+        raise CryptoError(f"hkdf length must be positive, got {length}")
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(mac(master, "repro-hkdf", label, counter))
+    return b"".join(blocks)[:length]
+
+
+class StreamCipher:
+    """CTR-mode stream cipher with keystream blocks from HMAC-SHA256.
+
+    ``encrypt(nonce, plaintext)`` XORs the plaintext with
+    ``PRF(key, nonce, counter)`` blocks. Decryption is the same operation.
+    Nonce reuse across distinct plaintexts leaks their XOR, exactly as with
+    any stream cipher — callers must supply unique nonces.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._prf = Prf(key)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes for ``nonce``."""
+        if length < 0:
+            raise CryptoError("keystream length must be non-negative")
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out.extend(self._prf.eval("ctr", nonce, counter))
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, nonce: bytes, plaintext: bytes) -> bytes:
+        """XOR ``plaintext`` with the keystream for ``nonce``."""
+        stream = self.keystream(nonce, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    decrypt = encrypt
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time byte-string comparison (wraps :func:`hmac.compare_digest`)."""
+    return hmac.compare_digest(a, b)
+
+
+def keystream_permutation(key: bytes, label: str, n: int) -> list:
+    """Derive a pseudorandom permutation of ``range(n)`` from ``key``.
+
+    Used by the ORE scheme to shuffle per-block comparison slots. The
+    permutation is a Fisher-Yates shuffle driven by PRF outputs, so it is a
+    deterministic function of ``(key, label, n)``.
+    """
+    if n <= 0:
+        raise CryptoError(f"permutation size must be positive, got {n}")
+    prf = Prf(key)
+    perm = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = prf.eval_int(i + 1, "perm", label, i)
+        perm[i], perm[j] = perm[j], perm[i]
+    return perm

@@ -1,0 +1,216 @@
+"""SPLASHE and enhanced SPLASHE: Seabed's frequency-hiding column encoding.
+
+SPLASHE ("splayed ASHE", paper §6 / Seabed OSDI 2016) protects a categorical
+filter column ``a`` against frequency analysis by *splaying* it: the schema
+gets one ASHE-encrypted indicator column ``c_v`` per possible plaintext value
+``v``. A row with ``a = v`` stores an encryption of 1 in ``c_v`` and
+encryptions of 0 everywhere else, so every stored ciphertext is semantically
+secure and the on-disk table carries no histogram at all.
+
+Queries are rewritten client-side::
+
+    SELECT count(*) FROM t WHERE a = 10   -->   SELECT ashe_sum(c3) FROM t
+
+(where ``c3`` is the column assigned to plaintext 10). The rewritten query
+names the indicator column in the clear — which is the crack the paper
+drives its attack through: MySQL's ``events_statements_summary_by_digest``
+canonicalizes queries *per column*, so the digest table accumulates an exact
+per-plaintext query histogram that a memory-snapshot attacker reads directly
+(see :mod:`repro.attacks.frequency`).
+
+**Enhanced SPLASHE** saves space by only splaying the frequent values; rows
+with infrequent values keep them in a single shared DET column, padded with
+dummy rows so each infrequent plaintext reaches a common target count. The
+paper notes this makes frequency analysis *worse* for the victim: recovering
+the DET column's values via the (partially leaked) histogram now reveals the
+value of a specific row, not just column statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CryptoError
+from .ashe import AsheCipher, AsheCiphertext
+from .primitives import derive_key
+from .symmetric import DetCipher
+
+
+@dataclass
+class SplasheColumnSet:
+    """The splayed server-side representation of one logical column.
+
+    Attributes
+    ----------
+    columns:
+        Map from indicator column name (e.g. ``"c3"``) to its list of ASHE
+        ciphertexts, one per row.
+    column_of_value:
+        The client-secret map ``plaintext -> column name``. The server (and
+        a snapshot attacker) sees only the opaque column names.
+    det_column:
+        For enhanced SPLASHE: the shared DET column holding infrequent
+        values (``None`` entries where the row's value was frequent).
+    """
+
+    columns: Dict[str, List[AsheCiphertext]]
+    column_of_value: Dict[int, str]
+    det_column: Optional[List[Optional[bytes]]] = None
+    padding_rows: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+
+class SplasheEncoder:
+    """Basic SPLASHE: one indicator column per domain value."""
+
+    def __init__(self, key: bytes, domain: Sequence[int]) -> None:
+        if not domain:
+            raise CryptoError("SPLASHE domain must be non-empty")
+        if len(set(domain)) != len(domain):
+            raise CryptoError("SPLASHE domain must not contain duplicates")
+        self._ashe = AsheCipher(derive_key(key, "splashe-ashe"))
+        self.domain = list(domain)
+        # Column names are positional and reveal nothing about the value.
+        self._column_of_value = {
+            value: f"c{i}" for i, value in enumerate(self.domain)
+        }
+
+    @property
+    def ashe(self) -> AsheCipher:
+        """The underlying ASHE cipher (client-side aggregation needs it)."""
+        return self._ashe
+
+    def column_for(self, value: int) -> str:
+        """Rewrite target: the indicator column assigned to ``value``."""
+        try:
+            return self._column_of_value[value]
+        except KeyError:
+            raise CryptoError(f"value {value} not in SPLASHE domain") from None
+
+    def encode_column(self, values: Sequence[int]) -> SplasheColumnSet:
+        """Splay a plaintext column into per-value ASHE indicator columns."""
+        columns: Dict[str, List[AsheCiphertext]] = {
+            name: [] for name in self._column_of_value.values()
+        }
+        for row_offset, value in enumerate(values):
+            row_id = row_offset + 1
+            target = self.column_for(value)
+            for name in columns:
+                indicator = 1 if name == target else 0
+                columns[name].append(self._ashe.encrypt(indicator, row_id))
+        return SplasheColumnSet(
+            columns=columns, column_of_value=dict(self._column_of_value)
+        )
+
+    def rewrite_count_query(self, table: str, column: str, value: int) -> str:
+        """Client-side rewriting of ``SELECT count(*) ... WHERE col = value``.
+
+        Returns the SQL text the server actually sees. Distinct plaintext
+        values produce distinct column names — hence distinct
+        performance-schema digests.
+        """
+        return f"SELECT ashe_sum({self.column_for(value)}) FROM {table}"
+
+    def count(self, column_set: SplasheColumnSet, value: int) -> int:
+        """Evaluate a rewritten count query and decrypt the aggregate."""
+        ciphertexts = column_set.columns[self.column_for(value)]
+        if not ciphertexts:
+            return 0
+        return self._ashe.decrypt(self._ashe.aggregate(ciphertexts))
+
+
+class EnhancedSplasheEncoder:
+    """Enhanced SPLASHE: splay frequent values, DET-with-padding for the rest.
+
+    Parameters
+    ----------
+    key:
+        Master key.
+    frequent_values:
+        Values common enough to deserve a dedicated indicator column.
+    pad_to:
+        Target count for each infrequent value in the DET column; dummy
+        rows are appended until every infrequent value appears exactly
+        ``pad_to`` times (values already above ``pad_to`` are left as-is,
+        mirroring Seabed's best-effort padding).
+    """
+
+    def __init__(self, key: bytes, frequent_values: Sequence[int], pad_to: int = 0) -> None:
+        if len(set(frequent_values)) != len(frequent_values):
+            raise CryptoError("frequent_values must not contain duplicates")
+        self._ashe = AsheCipher(derive_key(key, "esplashe-ashe"))
+        self._det = DetCipher(derive_key(key, "esplashe-det"))
+        self.frequent_values = list(frequent_values)
+        self.pad_to = pad_to
+        self._column_of_value = {
+            value: f"c{i}" for i, value in enumerate(self.frequent_values)
+        }
+
+    def column_for(self, value: int) -> Optional[str]:
+        """Indicator column for a frequent value, ``None`` if infrequent."""
+        return self._column_of_value.get(value)
+
+    def det_encrypt(self, value: int) -> bytes:
+        """DET encryption used for infrequent values (and for queries on them)."""
+        return self._det.encrypt(value.to_bytes(8, "little", signed=True))
+
+    def encode_column(self, values: Sequence[int]) -> SplasheColumnSet:
+        """Encode a plaintext column; infrequent values go to the DET column."""
+        frequent = set(self.frequent_values)
+        columns: Dict[str, List[AsheCiphertext]] = {
+            name: [] for name in self._column_of_value.values()
+        }
+        det_column: List[Optional[bytes]] = []
+        infrequent_counts: Dict[int, int] = {}
+
+        rows: List[Optional[int]] = list(values)
+        # Padding: bring every infrequent value up to pad_to occurrences.
+        for value in values:
+            if value not in frequent:
+                infrequent_counts[value] = infrequent_counts.get(value, 0) + 1
+        padding = []
+        for value, count in sorted(infrequent_counts.items()):
+            padding.extend([value] * max(0, self.pad_to - count))
+        rows.extend(padding)
+
+        for row_offset, value in enumerate(rows):
+            row_id = row_offset + 1
+            target = self._column_of_value.get(value)
+            for name in columns:
+                indicator = 1 if name == target else 0
+                columns[name].append(self._ashe.encrypt(indicator, row_id))
+            det_column.append(None if target is not None else self.det_encrypt(value))
+
+        return SplasheColumnSet(
+            columns=columns,
+            column_of_value=dict(self._column_of_value),
+            det_column=det_column,
+            padding_rows=len(padding),
+        )
+
+    def rewrite_count_query(self, table: str, column: str, value: int) -> str:
+        """Rewrite a count query; infrequent values filter the DET column."""
+        target = self._column_of_value.get(value)
+        if target is not None:
+            return f"SELECT ashe_sum({target}) FROM {table}"
+        det = self.det_encrypt(value).hex()
+        return f"SELECT count(*) FROM {table} WHERE det_col = x'{det}'"
+
+    def count(self, column_set: SplasheColumnSet, value: int) -> int:
+        """Evaluate a count; DET counts include Seabed's padding rows."""
+        target = self._column_of_value.get(value)
+        if target is not None:
+            ciphertexts = column_set.columns[target]
+            if not ciphertexts:
+                return 0
+            return self._ashe.decrypt(self._ashe.aggregate(ciphertexts))
+        if column_set.det_column is None:
+            raise CryptoError("column set has no DET column")
+        needle = self.det_encrypt(value)
+        return sum(1 for ct in column_set.det_column if ct == needle)

@@ -1,0 +1,111 @@
+"""Searchable symmetric encryption (SSE) with query trapdoors.
+
+This models the scheme family used by CryptDB's SEARCH onion and Mylar
+(variants of Song-Wagner-Perrig), and more generally any token-based
+searchable encryption (paper §6, "Token-based systems"):
+
+* The client derives a per-keyword **trapdoor token** ``t_w = PRF(K, w)``.
+* Each document contributes, per contained keyword, a searchable tag
+  ``PRF(t_w, doc_id)`` to a server-side index.
+* Given ``t_w`` the server can test every document for a match; without it,
+  tags are pseudorandom.
+
+The semantic-security break the paper describes is mechanical: an attacker
+who recovers even one token ``t_w`` from a snapshot (logs / diagnostic
+tables / heap) can re-run the server's matching procedure and learn exactly
+which encrypted documents match — the access pattern — which feeds the
+count-based leakage-abuse attack in :mod:`repro.attacks.count_attack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..errors import CryptoError
+from .primitives import Prf, derive_key
+from .symmetric import RndCipher
+
+
+@dataclass(frozen=True)
+class SseToken:
+    """A keyword trapdoor. Knowing it enables server-side match tests."""
+
+    value: bytes
+
+    def tag_for(self, doc_id: int) -> bytes:
+        """Compute the searchable tag this token yields for ``doc_id``."""
+        return Prf(self.value).eval("sse-tag", doc_id)
+
+
+class SseIndex:
+    """The server-side encrypted index: per-document tag sets + ciphertexts.
+
+    The server stores only pseudorandom tags and RND ciphertexts. All
+    query capability flows from client-supplied tokens.
+    """
+
+    def __init__(self) -> None:
+        self._tags: Dict[int, FrozenSet[bytes]] = {}
+        self._ciphertexts: Dict[int, bytes] = {}
+
+    def add_document(self, doc_id: int, tags: Iterable[bytes], ciphertext: bytes) -> None:
+        """Store a document's searchable tags and its encrypted body."""
+        if doc_id in self._tags:
+            raise CryptoError(f"duplicate document id {doc_id}")
+        self._tags[doc_id] = frozenset(tags)
+        self._ciphertexts[doc_id] = ciphertext
+
+    @property
+    def doc_ids(self) -> List[int]:
+        return sorted(self._tags)
+
+    def ciphertext(self, doc_id: int) -> bytes:
+        return self._ciphertexts[doc_id]
+
+    def search(self, token: SseToken) -> List[int]:
+        """Honest server search: return ids of documents matching ``token``.
+
+        This is also precisely what a snapshot attacker does after carving a
+        token out of the heap — the server grants no extra power.
+        """
+        matches = []
+        for doc_id in sorted(self._tags):
+            if token.tag_for(doc_id) in self._tags[doc_id]:
+                matches.append(doc_id)
+        return matches
+
+    def result_count(self, token: SseToken) -> int:
+        """Number of documents matching ``token``."""
+        return len(self.search(token))
+
+
+class SseClient:
+    """Client side of the SSE scheme: tokenization, indexing, decryption."""
+
+    def __init__(self, key: bytes) -> None:
+        self._token_prf = Prf(derive_key(key, "sse-token"))
+        self._body = RndCipher(derive_key(key, "sse-body"))
+
+    def token(self, keyword: str) -> SseToken:
+        """Derive the trapdoor for ``keyword`` (deterministic per keyword)."""
+        if not keyword:
+            raise CryptoError("keyword must be non-empty")
+        return SseToken(self._token_prf.eval("kw", keyword.lower()))
+
+    def encrypt_document(
+        self, index: SseIndex, doc_id: int, keywords: Iterable[str], body: str
+    ) -> None:
+        """Encrypt ``body`` and index it under ``keywords``."""
+        keyword_set: Set[str] = {k.lower() for k in keywords if k}
+        tags = [self.token(word).tag_for(doc_id) for word in sorted(keyword_set)]
+        ciphertext = self._body.encrypt(body.encode("utf-8"))
+        index.add_document(doc_id, tags, ciphertext)
+
+    def decrypt_document(self, index: SseIndex, doc_id: int) -> str:
+        """Decrypt a stored document body."""
+        return self._body.decrypt(index.ciphertext(doc_id)).decode("utf-8")
+
+    def search(self, index: SseIndex, keyword: str) -> List[int]:
+        """Issue a keyword query: derive the token and run the server search."""
+        return index.search(self.token(keyword))

@@ -1,0 +1,98 @@
+"""Randomized (RND) and deterministic (DET) symmetric encryption.
+
+These are the two basic onion layers of CryptDB-class systems (paper §6):
+
+* **RND** — semantically secure encryption: fresh nonce per ciphertext, so
+  equal plaintexts produce unlinkable ciphertexts. Authenticated with an
+  encrypt-then-MAC tag.
+* **DET** — deterministic encryption (SIV-style: the nonce is a PRF of the
+  plaintext). Equal plaintexts produce equal ciphertexts, which enables
+  equality predicates and joins on the server but leaks the plaintext
+  histogram — the leakage exploited by the frequency-analysis attack in
+  :mod:`repro.attacks.frequency`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from ..errors import DecryptionError
+from .primitives import Prf, StreamCipher, constant_time_equal, derive_key
+
+_NONCE_LEN = 16
+_TAG_LEN = 16
+
+
+class RndCipher:
+    """Randomized authenticated encryption (encrypt-then-MAC).
+
+    Ciphertext layout: ``nonce (16) || body || tag (16)``.
+
+    Parameters
+    ----------
+    key:
+        Master key; independent encryption and MAC subkeys are derived.
+    rand:
+        Optional nonce source ``(n_bytes) -> bytes`` for deterministic tests;
+        defaults to :func:`os.urandom`.
+    """
+
+    def __init__(self, key: bytes, rand: Optional[Callable[[int], bytes]] = None) -> None:
+        self._stream = StreamCipher(derive_key(key, "rnd-enc"))
+        self._mac = Prf(derive_key(key, "rnd-mac"))
+        self._rand = rand or os.urandom
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt ``plaintext`` under a fresh nonce."""
+        nonce = self._rand(_NONCE_LEN)
+        body = self._stream.encrypt(nonce, plaintext)
+        tag = self._mac.eval("tag", nonce, body)[:_TAG_LEN]
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Authenticate and decrypt ``ciphertext``."""
+        if len(ciphertext) < _NONCE_LEN + _TAG_LEN:
+            raise DecryptionError("ciphertext too short")
+        nonce = ciphertext[:_NONCE_LEN]
+        body = ciphertext[_NONCE_LEN:-_TAG_LEN]
+        tag = ciphertext[-_TAG_LEN:]
+        expected = self._mac.eval("tag", nonce, body)[:_TAG_LEN]
+        if not constant_time_equal(tag, expected):
+            raise DecryptionError("authentication tag mismatch")
+        return self._stream.decrypt(nonce, body)
+
+
+class DetCipher:
+    """Deterministic authenticated encryption (SIV construction).
+
+    The synthetic IV is ``PRF(plaintext)``, so encryption is a deterministic
+    function of ``(key, plaintext)``: equal plaintexts yield equal
+    ciphertexts. The IV doubles as the authentication tag.
+
+    Leakage: ciphertext equality equals plaintext equality — i.e. the full
+    plaintext histogram of a column is visible to anyone holding the
+    ciphertexts (paper §6, Seabed DET join columns).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._stream = StreamCipher(derive_key(key, "det-enc"))
+        self._siv = Prf(derive_key(key, "det-siv"))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Deterministically encrypt ``plaintext``."""
+        iv = self._siv.eval("siv", plaintext)[:_NONCE_LEN]
+        body = self._stream.encrypt(iv, plaintext)
+        return iv + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and verify a deterministic ciphertext."""
+        if len(ciphertext) < _NONCE_LEN:
+            raise DecryptionError("ciphertext too short")
+        iv = ciphertext[:_NONCE_LEN]
+        body = ciphertext[_NONCE_LEN:]
+        plaintext = self._stream.decrypt(iv, body)
+        expected = self._siv.eval("siv", plaintext)[:_NONCE_LEN]
+        if not constant_time_equal(iv, expected):
+            raise DecryptionError("synthetic IV mismatch")
+        return plaintext

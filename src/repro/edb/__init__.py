@@ -1,0 +1,36 @@
+"""Encrypted databases built on top of the commodity server.
+
+One module per system family the paper attacks in Section 6:
+
+* :mod:`.atrest` — transparent at-rest (tablespace) encryption.
+* :mod:`.onion` — CryptDB-style onion columns (RND / DET / SEARCH).
+* :mod:`.sse_edb` — a token-based searchable EDB (CryptDB / Mylar class).
+* :mod:`.ore_edb` — a Lewi-Wu-backed range-query EDB.
+* :mod:`.seabed` — Seabed: DET joins, ASHE aggregates, SPLASHE filters.
+* :mod:`.arx` — an Arx-style encrypted range index with repair-on-read.
+
+Each layer runs its rewritten queries through a real
+:class:`repro.server.MySQLServer`, so every token, rewritten column name,
+and repair write lands in the logs, diagnostic tables, and heap — the
+artifacts the snapshot attacks then exploit.
+"""
+
+from .atrest import AtRestEncryptedStore
+from .onion import OnionColumn, OnionLayer
+from .cryptdb import ColumnSpec, CryptDbProxy
+from .sse_edb import SearchableEdb
+from .ore_edb import OreRangeEdb
+from .seabed import SeabedEdb
+from .arx import ArxRangeEdb
+
+__all__ = [
+    "AtRestEncryptedStore",
+    "OnionColumn",
+    "OnionLayer",
+    "CryptDbProxy",
+    "ColumnSpec",
+    "SearchableEdb",
+    "OreRangeEdb",
+    "SeabedEdb",
+    "ArxRangeEdb",
+]

@@ -1,0 +1,227 @@
+"""A CryptDB-style onion-encryption proxy.
+
+CryptDB (SOSP 2011) sits between the application and an unmodified DBMS:
+each logical column is stored as an *onion* — RND(DET(value)) for equality
+onions, plus a SEARCH onion of keyword tags — and query capabilities are
+enabled by **peeling**: the proxy walks the table re-writing every row's
+ciphertext down one layer, after which the server can evaluate the predicate
+itself.
+
+The paper's angle (§6, "Token-based systems" + §3): peeling and querying are
+ordinary SQL traffic. The peel pass is a burst of UPDATEs in the redo/undo
+logs and binlog; the post-peel column is DET (histogram leaked to any
+snapshot); every equality/search predicate embeds a deterministic ciphertext
+or tag in statement text that persists in the history, cache, and heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.primitives import Prf, derive_key
+from ..crypto.symmetric import DetCipher, RndCipher
+from ..errors import EDBError
+from ..server import MySQLServer, Session
+from .onion import OnionLayer
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One logical column: its name and onion kind."""
+
+    name: str
+    kind: str  # "eq" (RND/DET onion) | "search" (keyword tags)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("eq", "search"):
+            raise EDBError(f"unknown onion kind {self.kind!r}")
+
+
+class CryptDbProxy:
+    """The trusted proxy: holds keys, rewrites queries, peels onions."""
+
+    def __init__(
+        self,
+        server: MySQLServer,
+        session: Session,
+        key: bytes,
+        table: str,
+        columns: Sequence[ColumnSpec],
+    ) -> None:
+        if len(key) < 16:
+            raise EDBError("CryptDB key must be at least 16 bytes")
+        if not columns:
+            raise EDBError("need at least one logical column")
+        self._server = server
+        self._session = session
+        self._table = table
+        self._columns: Dict[str, ColumnSpec] = {c.name: c for c in columns}
+        if len(self._columns) != len(columns):
+            raise EDBError("duplicate column names")
+        self._rnd: Dict[str, RndCipher] = {}
+        self._det: Dict[str, DetCipher] = {}
+        self._search: Dict[str, Prf] = {}
+        self._layer: Dict[str, OnionLayer] = {}
+        physical = ["pk INT PRIMARY KEY"]
+        for spec in columns:
+            if spec.kind == "eq":
+                self._rnd[spec.name] = RndCipher(derive_key(key, f"rnd-{spec.name}"))
+                self._det[spec.name] = DetCipher(derive_key(key, f"det-{spec.name}"))
+                self._layer[spec.name] = OnionLayer.RND
+                physical.append(f"{spec.name}_onion BLOB")
+            else:
+                self._search[spec.name] = Prf(derive_key(key, f"srch-{spec.name}"))
+                physical.append(f"{spec.name}_search TEXT")
+        self._next_pk = 1
+        server.execute(session, f"CREATE TABLE {table} ({', '.join(physical)})")
+
+    # -- schema info -----------------------------------------------------------
+
+    @property
+    def table(self) -> str:
+        return self._table
+
+    def layer_of(self, column: str) -> OnionLayer:
+        """Current onion layer of an equality column."""
+        self._require_eq(column)
+        return self._layer[column]
+
+    def _require_eq(self, column: str) -> None:
+        spec = self._columns.get(column)
+        if spec is None or spec.kind != "eq":
+            raise EDBError(f"{column!r} is not an equality-onion column")
+
+    def _require_search(self, column: str) -> None:
+        spec = self._columns.get(column)
+        if spec is None or spec.kind != "search":
+            raise EDBError(f"{column!r} is not a search column")
+
+    # -- encryption ---------------------------------------------------------------
+
+    def _encrypt_eq(self, column: str, value: str) -> bytes:
+        inner = self._det[column].encrypt(value.encode("utf-8"))
+        if self._layer[column] is OnionLayer.RND:
+            return self._rnd[column].encrypt(inner)
+        return inner
+
+    def _decrypt_eq(self, column: str, stored: bytes) -> str:
+        if self._layer[column] is OnionLayer.RND:
+            stored = self._rnd[column].decrypt(stored)
+        return self._det[column].decrypt(stored).decode("utf-8")
+
+    def _tag(self, column: str, word: str) -> str:
+        return self._search[column].eval("tag", word.lower()).hex()
+
+    # -- data path ------------------------------------------------------------------
+
+    def insert(self, row: Dict[str, object]) -> int:
+        """Encrypt a logical row and insert it; returns its pk."""
+        unknown = set(row) - set(self._columns)
+        if unknown:
+            raise EDBError(f"unknown columns {sorted(unknown)}")
+        pk = self._next_pk
+        self._next_pk += 1
+        names = ["pk"]
+        values = [str(pk)]
+        for name, spec in self._columns.items():
+            value = row.get(name)
+            if value is None:
+                continue
+            if spec.kind == "eq":
+                names.append(f"{name}_onion")
+                values.append(f"x'{self._encrypt_eq(name, str(value)).hex()}'")
+            else:
+                words = str(value).split()
+                tags = " ".join(sorted({self._tag(name, w) for w in words}))
+                names.append(f"{name}_search")
+                values.append(f"'{tags}'")
+        self._server.execute(
+            self._session,
+            f"INSERT INTO {self._table} ({', '.join(names)}) "
+            f"VALUES ({', '.join(values)})",
+        )
+        return pk
+
+    def peel(self, column: str) -> int:
+        """Peel an equality onion RND -> DET across the whole table.
+
+        This is CryptDB's capability grant: after the pass the server can
+        test equality on the column. The pass itself is one UPDATE per row
+        — all captured by redo/undo and the binlog. Returns rows rewritten.
+        """
+        self._require_eq(column)
+        if self._layer[column] is not OnionLayer.RND:
+            raise EDBError(f"column {column!r} is already peeled")
+        result = self._server.execute(
+            self._session, f"SELECT pk, {column}_onion FROM {self._table}"
+        )
+        rewritten = 0
+        for pk, stored in result.rows:
+            if stored is None:
+                continue
+            det_ct = self._rnd[column].decrypt(stored)
+            self._server.execute(
+                self._session,
+                f"UPDATE {self._table} SET {column}_onion = x'{det_ct.hex()}' "
+                f"WHERE pk = {pk}",
+            )
+            rewritten += 1
+        self._layer[column] = OnionLayer.DET
+        return rewritten
+
+    def select_where_eq(self, column: str, value: str) -> List[int]:
+        """``SELECT pk WHERE column = value`` — peels on first use.
+
+        The rewritten predicate embeds the DET ciphertext: the equality
+        token that any snapshot then holds.
+        """
+        self._require_eq(column)
+        if self._layer[column] is OnionLayer.RND:
+            self.peel(column)
+        det_ct = self._det[column].encrypt(str(value).encode("utf-8"))
+        result = self._server.execute(
+            self._session,
+            f"SELECT pk FROM {self._table} "
+            f"WHERE {column}_onion = x'{det_ct.hex()}'",
+        )
+        return [row[0] for row in result.rows]
+
+    def search(self, column: str, keyword: str) -> List[int]:
+        """Keyword search via the SEARCH onion (tag embedded in the SQL)."""
+        self._require_search(column)
+        tag = self._tag(column, keyword)
+        result = self._server.execute(
+            self._session,
+            f"SELECT pk FROM {self._table} WHERE MATCH({column}_search, '{tag}')",
+        )
+        return [row[0] for row in result.rows]
+
+    def fetch_decrypted(self, column: str, pks: Sequence[int]) -> Dict[int, str]:
+        """Client-side decryption of an equality column for given rows."""
+        self._require_eq(column)
+        out = {}
+        for pk in pks:
+            result = self._server.execute(
+                self._session,
+                f"SELECT {column}_onion FROM {self._table} WHERE pk = {pk}",
+            )
+            if result.rows and result.rows[0][0] is not None:
+                out[pk] = self._decrypt_eq(column, result.rows[0][0])
+        return out
+
+    def column_histogram(self, column: str) -> Dict[bytes, int]:
+        """The server-visible ciphertext histogram of an equality column.
+
+        Flat while the onion is at RND; equal to the plaintext histogram
+        once peeled — the frequency-analysis input.
+        """
+        self._require_eq(column)
+        result = self._server.execute(
+            self._session, f"SELECT {column}_onion FROM {self._table}"
+        )
+        hist: Dict[bytes, int] = {}
+        for (ct,) in result.rows:
+            if ct is not None:
+                hist[ct] = hist.get(ct, 0) + 1
+        return hist

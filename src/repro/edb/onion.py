@@ -1,0 +1,106 @@
+"""CryptDB-style onion encryption for a single column.
+
+CryptDB wraps each value in layered encryption ("onions"): the outermost
+layer is semantically secure RND; beneath it sit layers supporting server
+computation (DET for equality/joins, SEARCH for keyword match). To enable a
+query class the client *peels* the onion by sending the layer key to the
+server — permanently downgrading the column's security.
+
+The paper's relevance: once a layer is peeled, the layer key and the
+peel-UPDATE statements are ordinary query traffic, so they persist in logs
+and memory like everything else; and DET-layer ciphertexts leak the full
+histogram to any snapshot.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..crypto.primitives import derive_key
+from ..crypto.symmetric import DetCipher, RndCipher
+from ..errors import EDBError
+
+
+class OnionLayer(enum.Enum):
+    """Security levels of an equality onion, strongest first."""
+
+    RND = "rnd"
+    DET = "det"
+    PLAIN = "plain"
+
+
+_ORDER = [OnionLayer.RND, OnionLayer.DET, OnionLayer.PLAIN]
+
+
+class OnionColumn:
+    """One column's onion state: values wrapped as RND(DET(value)).
+
+    ``peel`` downgrades the whole column one layer at a time, mirroring
+    CryptDB's ``DECRYPT`` UDF pass over the table.
+    """
+
+    def __init__(self, key: bytes, name: str = "col") -> None:
+        if len(key) < 16:
+            raise EDBError("onion key must be at least 16 bytes")
+        self.name = name
+        self._rnd = RndCipher(derive_key(key, f"onion-rnd-{name}"))
+        self._det = DetCipher(derive_key(key, f"onion-det-{name}"))
+        self._layer = OnionLayer.RND
+        self._values: List[bytes] = []
+
+    @property
+    def layer(self) -> OnionLayer:
+        return self._layer
+
+    @property
+    def ciphertexts(self) -> List[bytes]:
+        """The server-visible column contents at the current layer."""
+        return list(self._values)
+
+    def insert(self, plaintext: bytes) -> bytes:
+        """Encrypt a value at the column's current layer and store it."""
+        inner = self._det.encrypt(plaintext)
+        if self._layer is OnionLayer.RND:
+            stored = self._rnd.encrypt(inner)
+        elif self._layer is OnionLayer.DET:
+            stored = inner
+        else:
+            stored = plaintext
+        self._values.append(stored)
+        return stored
+
+    def peel(self) -> OnionLayer:
+        """Remove the outermost layer from every stored value."""
+        idx = _ORDER.index(self._layer)
+        if idx + 1 >= len(_ORDER):
+            raise EDBError(f"column {self.name!r} is already at PLAIN")
+        if self._layer is OnionLayer.RND:
+            self._values = [self._rnd.decrypt(v) for v in self._values]
+        elif self._layer is OnionLayer.DET:
+            self._values = [self._det.decrypt(v) for v in self._values]
+        self._layer = _ORDER[idx + 1]
+        return self._layer
+
+    def equality_histogram(self) -> Dict[bytes, int]:
+        """Ciphertext histogram — meaningful once the RND layer is peeled.
+
+        At RND every ciphertext is unique (histogram is flat); at DET the
+        histogram equals the plaintext histogram, which is what frequency
+        analysis consumes.
+        """
+        hist: Dict[bytes, int] = {}
+        for value in self._values:
+            hist[value] = hist.get(value, 0) + 1
+        return hist
+
+    def decrypt_all(self) -> List[bytes]:
+        """Client-side recovery of all plaintexts (any layer)."""
+        out = []
+        for value in self._values:
+            if self._layer is OnionLayer.RND:
+                value = self._rnd.decrypt(value)
+            if self._layer in (OnionLayer.RND, OnionLayer.DET):
+                value = self._det.decrypt(value)
+            out.append(value)
+        return out

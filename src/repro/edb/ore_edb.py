@@ -1,0 +1,122 @@
+"""A Lewi-Wu-backed encrypted range-query database.
+
+Values are stored as ORE **right** ciphertexts in a BLOB column; range
+queries ship the endpoints' **left** ciphertexts (the query tokens) as
+literal arguments to an installed ``ore_range`` UDF::
+
+    SELECT id FROM ore_data WHERE ore_range(val_ore, '<lo hex>', '<hi hex>')
+
+Paper §6, "Lewi-Wu ORE": the tokens thus live in query text — net buffer,
+arena, statement history, slow log — and "query tokens found in system
+snapshots enable a snapshot adversary to recover large amounts of protected
+data". The recovery itself (bit-leakage aggregation) is
+:mod:`repro.attacks.lewi_wu_leakage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.ore_lewi_wu import (
+    LewiWuLeftCiphertext,
+    LewiWuOre,
+    LewiWuRightCiphertext,
+)
+from ..errors import EDBError
+from ..server import MySQLServer, Session
+
+
+@dataclass(frozen=True)
+class RangeQueryRecord:
+    """Client-side record of one issued range query (for ground truth)."""
+
+    low: int
+    high: int
+    low_token_hex: str
+    high_token_hex: str
+    statement: str
+    matching_ids: Tuple[int, ...]
+
+
+class OreRangeEdb:
+    """Client + server-side UDF of the ORE range EDB."""
+
+    def __init__(
+        self,
+        server: MySQLServer,
+        session: Session,
+        key: bytes,
+        table: str = "ore_data",
+        bit_length: int = 32,
+        block_bits: int = 1,
+    ) -> None:
+        self._server = server
+        self._session = session
+        self._table = table
+        self._ore = LewiWuOre(key, bit_length=bit_length, block_bits=block_bits)
+        server.execute(
+            session, f"CREATE TABLE {table} (id INT PRIMARY KEY, val_ore BLOB)"
+        )
+        server.register_udf("ore_range", self._ore_range_udf)
+
+    @property
+    def scheme(self) -> LewiWuOre:
+        return self._ore
+
+    @property
+    def table(self) -> str:
+        return self._table
+
+    def _ore_range_udf(self, stored: object, lo_hex: object, hi_hex: object) -> bool:
+        """The server-resident comparator (CryptDB-style UDF)."""
+        if not isinstance(stored, bytes):
+            return False
+        if not isinstance(lo_hex, str) or not isinstance(hi_hex, str):
+            raise EDBError("ore_range expects hex-string tokens")
+        right = LewiWuRightCiphertext.from_bytes(stored)
+        low = LewiWuLeftCiphertext.from_hex(lo_hex)
+        high = LewiWuLeftCiphertext.from_hex(hi_hex)
+        return (
+            self._ore.compare(low, right).order <= 0
+            and self._ore.compare(high, right).order >= 0
+        )
+
+    # -- data path ---------------------------------------------------------
+
+    def insert(self, row_id: int, value: int) -> None:
+        """Encrypt ``value`` and store its right ciphertext."""
+        ct = self._ore.encrypt_right(value).to_bytes().hex()
+        self._server.execute(
+            self._session,
+            f"INSERT INTO {self._table} (id, val_ore) VALUES ({row_id}, x'{ct}')",
+        )
+
+    def range_query(self, low: int, high: int) -> RangeQueryRecord:
+        """Issue ``low <= value <= high`` through the real server."""
+        if low > high:
+            raise EDBError(f"empty range [{low}, {high}]")
+        lo_hex = self._ore.encrypt_left(low).to_hex()
+        hi_hex = self._ore.encrypt_left(high).to_hex()
+        statement = (
+            f"SELECT id FROM {self._table} "
+            f"WHERE ore_range(val_ore, '{lo_hex}', '{hi_hex}')"
+        )
+        result = self._server.execute(self._session, statement)
+        return RangeQueryRecord(
+            low=low,
+            high=high,
+            low_token_hex=lo_hex,
+            high_token_hex=hi_hex,
+            statement=statement,
+            matching_ids=tuple(row[0] for row in result.rows),
+        )
+
+    def stored_ciphertexts(self) -> Dict[int, LewiWuRightCiphertext]:
+        """The server-visible column (what any snapshot of the table shows)."""
+        result = self._server.execute(
+            self._session, f"SELECT id, val_ore FROM {self._table}"
+        )
+        return {
+            row[0]: LewiWuRightCiphertext.from_bytes(row[1]) for row in result.rows
+        }

@@ -1,0 +1,126 @@
+"""A token-based searchable encrypted database (CryptDB / Mylar class).
+
+Documents are stored in the commodity server: bodies as RND blobs, keywords
+as a space-joined column of deterministic **search tags**, one per keyword
+(``tag_w = PRF(token_w, "tag")``). Searching for a keyword derives the
+trapdoor token, turns it into the tag, and issues::
+
+    SELECT id FROM <table> WHERE MATCH(tags, '<tag hex>')
+
+That statement — containing a value equivalent to the token — flows through
+the whole DBMS: net buffer, arena, general/slow logs, performance-schema
+history, query cache. Paper §6: "For any such scheme, semantic security
+cannot be achieved if the attacker obtains even a single token value" —
+anyone who carves the tag from a snapshot replays the same MATCH and learns
+exactly which documents contain the keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..crypto.primitives import Prf, derive_key
+from ..crypto.symmetric import RndCipher
+from ..errors import EDBError
+from ..server import MySQLServer, Session
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one keyword search."""
+
+    keyword: str
+    tag_hex: str
+    doc_ids: List[int]
+    statement: str
+
+
+class SearchableEdb:
+    """Client + schema of the searchable EDB."""
+
+    def __init__(
+        self,
+        server: MySQLServer,
+        session: Session,
+        key: bytes,
+        table: str = "sse_docs",
+    ) -> None:
+        if len(key) < 16:
+            raise EDBError("SSE key must be at least 16 bytes")
+        self._server = server
+        self._session = session
+        self._table = table
+        self._token_prf = Prf(derive_key(key, "sse-edb-token"))
+        self._body = RndCipher(derive_key(key, "sse-edb-body"))
+        server.execute(
+            session,
+            f"CREATE TABLE {table} (id INT PRIMARY KEY, tags TEXT, body BLOB)",
+        )
+
+    # -- client-side crypto -------------------------------------------------
+
+    def token(self, keyword: str) -> bytes:
+        """The trapdoor for ``keyword`` (client secret until first use)."""
+        if not keyword:
+            raise EDBError("keyword must be non-empty")
+        return self._token_prf.eval("kw", keyword.lower())
+
+    def tag_hex(self, keyword: str) -> str:
+        """The server-evaluable search tag derived from the trapdoor."""
+        return Prf(self.token(keyword)).eval("tag").hex()
+
+    # -- data path --------------------------------------------------------------
+
+    def insert_document(self, doc_id: int, keywords: Iterable[str], body: str) -> None:
+        """Encrypt and store one document."""
+        tags = " ".join(
+            sorted({self.tag_hex(word) for word in keywords if word})
+        )
+        ciphertext = self._body.encrypt(body.encode("utf-8")).hex()
+        self._server.execute(
+            self._session,
+            f"INSERT INTO {self._table} (id, tags, body) "
+            f"VALUES ({doc_id}, '{tags}', x'{ciphertext}')",
+        )
+
+    def search(self, keyword: str) -> SearchResult:
+        """Run a keyword query through the real server."""
+        tag = self.tag_hex(keyword)
+        statement = f"SELECT id FROM {self._table} WHERE MATCH(tags, '{tag}')"
+        result = self._server.execute(self._session, statement)
+        return SearchResult(
+            keyword=keyword,
+            tag_hex=tag,
+            doc_ids=[row[0] for row in result.rows],
+            statement=statement,
+        )
+
+    def decrypt_body(self, doc_id: int) -> str:
+        """Fetch and decrypt one document body (client capability)."""
+        result = self._server.execute(
+            self._session,
+            f"SELECT body FROM {self._table} WHERE id = {doc_id}",
+        )
+        if not result.rows:
+            raise EDBError(f"no document with id {doc_id}")
+        return self._body.decrypt(result.rows[0][0]).decode("utf-8")
+
+    # -- what a snapshot attacker replays ----------------------------------------
+
+    def replay_tag(self, tag_hex: str) -> List[int]:
+        """Apply a carved tag exactly as the server would.
+
+        This is the semantic-security break: no keys involved — just the
+        tag string recovered from logs/history/heap and the (encrypted)
+        table contents.
+        """
+        result = self._server.execute(
+            self._session,
+            f"SELECT id FROM {self._table} WHERE MATCH(tags, '{tag_hex}')",
+        )
+        return [row[0] for row in result.rows]
+
+    @property
+    def table(self) -> str:
+        return self._table

@@ -1,0 +1,41 @@
+"""InnoDB-like transactional storage engine.
+
+This package produces the on-disk write-history artifacts of paper Section 3:
+
+* :mod:`.redo_log` / :mod:`.undo_log` — circular byte-level change logs with
+  LSNs ("record changes to the individual database records at the byte
+  level"); fixed capacity, so old entries age out exactly like InnoDB's
+  50 MB defaults.
+* :mod:`.binlog` — the statement binlog with UNIX timestamps, never purged
+  unless an administrator runs ``PURGE``.
+* :mod:`.query_logs` — the general query log (off by default, like MySQL)
+  and the slow-query log.
+* :mod:`.transaction` — transaction lifecycle gluing row changes to log
+  writes.
+* :mod:`.engine` — the facade the server layer drives.
+"""
+
+from .lsn import LsnCounter
+from .redo_log import RedoLog, RedoRecord
+from .undo_log import UndoLog, UndoRecord
+from .binlog import Binlog, BinlogEvent
+from .query_logs import GeneralQueryLog, SlowQueryLog, QueryLogEntry
+from .transaction import Transaction, TransactionState
+from .engine import StorageEngine, ChangeOp
+
+__all__ = [
+    "LsnCounter",
+    "RedoLog",
+    "RedoRecord",
+    "UndoLog",
+    "UndoRecord",
+    "Binlog",
+    "BinlogEvent",
+    "GeneralQueryLog",
+    "SlowQueryLog",
+    "QueryLogEntry",
+    "Transaction",
+    "TransactionState",
+    "StorageEngine",
+    "ChangeOp",
+]

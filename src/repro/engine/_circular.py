@@ -1,0 +1,105 @@
+"""Shared machinery for fixed-capacity circular logs.
+
+InnoDB's redo and undo logs are circular files: new records overwrite the
+oldest ones once the file fills. The retention window therefore depends on
+write rate and record size — the quantity behind the paper's "16 days' worth
+of inserts" observation (Section 3, experiment E2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Tuple, TypeVar
+
+from ..errors import LogError
+from .lsn import LsnCounter
+
+RecordT = TypeVar("RecordT")
+
+
+class CircularLog(Generic[RecordT]):
+    """A byte-capacity-bounded log of serialized records.
+
+    Subclasses provide serialization; this class handles LSN assignment,
+    byte accounting, and eviction of the oldest records once ``capacity``
+    is exceeded (the "circular" behaviour).
+    """
+
+    def __init__(self, capacity_bytes: int, lsn: LsnCounter) -> None:
+        if capacity_bytes <= 0:
+            raise LogError(f"log capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._lsn = lsn
+        self._entries: Deque[Tuple[int, bytes, RecordT]] = deque()
+        self._used_bytes = 0
+        self._total_appended = 0
+        self._total_evicted = 0
+
+    def _append(self, raw: bytes, record: RecordT) -> int:
+        """Store ``raw``/``record``, assign an LSN, evict as needed."""
+        if len(raw) > self.capacity_bytes:
+            raise LogError(
+                f"record of {len(raw)} bytes exceeds log capacity "
+                f"{self.capacity_bytes}"
+            )
+        lsn = self._lsn.advance(len(raw))
+        self._entries.append((lsn, raw, record))
+        self._used_bytes += len(raw)
+        self._total_appended += 1
+        while self._used_bytes > self.capacity_bytes:
+            _, old_raw, _ = self._entries.popleft()
+            self._used_bytes -= len(old_raw)
+            self._total_evicted += 1
+        return lsn
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def num_records(self) -> int:
+        """Records currently retained (not yet overwritten)."""
+        return len(self._entries)
+
+    @property
+    def total_appended(self) -> int:
+        return self._total_appended
+
+    @property
+    def total_evicted(self) -> int:
+        return self._total_evicted
+
+    @property
+    def oldest_lsn(self) -> int:
+        """LSN of the oldest retained record (-1 if empty)."""
+        return self._entries[0][0] if self._entries else -1
+
+    @property
+    def newest_lsn(self) -> int:
+        """LSN of the newest retained record (-1 if empty)."""
+        return self._entries[-1][0] if self._entries else -1
+
+    def records(self) -> List[RecordT]:
+        """Retained records, oldest first (structured view)."""
+        return [record for _, _, record in self._entries]
+
+    def records_with_lsn(self) -> List[Tuple[int, RecordT]]:
+        """Retained ``(lsn, record)`` pairs, oldest first."""
+        return [(lsn, record) for lsn, _, record in self._entries]
+
+    def raw_bytes(self) -> bytes:
+        """The raw on-disk image a disk-theft attacker obtains.
+
+        Each record is framed as ``lsn(8) || len(4) || body`` so the
+        forensic parser can walk it without structured access.
+        """
+        from ..util.serialization import encode_uint
+
+        parts = []
+        for lsn, raw, _ in self._entries:
+            parts.append(encode_uint(lsn, 8))
+            parts.append(encode_uint(len(raw)))
+            parts.append(raw)
+        return b"".join(parts)

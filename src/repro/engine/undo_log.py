@@ -1,0 +1,85 @@
+"""The undo log: byte-level before-images for rollback / MVCC.
+
+The mirror of :mod:`repro.engine.redo_log`: undo records carry the *before*
+image of each change so transactions can roll back (and old row versions can
+be reconstructed — multi-version concurrency control). Forensically, undo
+entries reveal deleted and overwritten data that no longer exists in the
+table itself.
+
+Paper §3: "Transactional guarantees require the ability to roll back recent
+transactions ... thus information about recent database modifications must
+persist on the disk." The leakage is inherent in ACID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import LogError
+from ..util.serialization import (
+    decode_bytes,
+    decode_str,
+    encode_bytes,
+    encode_str,
+    encode_uint,
+    read_uint,
+)
+from ._circular import CircularLog
+from .lsn import LsnCounter
+from .redo_log import DEFAULT_CAPACITY
+
+_OPS = ("insert", "update", "delete")
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """One undo entry: the before-image of a row change.
+
+    ``before_image`` is the serialized row before the change (empty for an
+    insert, which had no prior state).
+    """
+
+    txn_id: int
+    table: str
+    op: str
+    key: int
+    before_image: bytes
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise LogError(f"unknown undo op {self.op!r}")
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                encode_uint(self.txn_id, 8),
+                encode_str(self.table),
+                encode_str(self.op),
+                encode_uint(self.key & 0xFFFFFFFFFFFFFFFF, 8),
+                encode_bytes(self.before_image),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[UndoRecord, int]":
+        txn_id, offset = read_uint(data, offset, 8)
+        table, offset = decode_str(data, offset)
+        op, offset = decode_str(data, offset)
+        key_u, offset = read_uint(data, offset, 8)
+        key = key_u - (1 << 64) if key_u >= (1 << 63) else key_u
+        before_image, offset = decode_bytes(data, offset)
+        return cls(txn_id, table, op, key, before_image), offset
+
+
+class UndoLog(CircularLog[UndoRecord]):
+    """Circular undo log with byte-capacity retention."""
+
+    def __init__(
+        self, capacity_bytes: int = DEFAULT_CAPACITY, lsn: Optional[LsnCounter] = None
+    ) -> None:
+        super().__init__(capacity_bytes, lsn or LsnCounter())
+
+    def log(self, record: UndoRecord) -> int:
+        """Append ``record``; returns its LSN."""
+        return self._append(record.to_bytes(), record)

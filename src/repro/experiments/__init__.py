@@ -1,0 +1,73 @@
+"""Experiment protocols: one module per paper claim (see DESIGN.md §4).
+
+Each module exposes a ``run_*`` function returning a result dataclass with
+both the measured quantities and the paper's reported values, so the
+benchmark harness and the examples share one implementation and
+EXPERIMENTS.md can be regenerated mechanically.
+
+| ID  | Module                 | Paper claim                                   |
+|-----|------------------------|-----------------------------------------------|
+| E1  | :mod:`.e01_surface`    | Figure 1 attack/state matrix                  |
+| E2  | :mod:`.e02_retention`  | 50 MB logs hold 16 days of 1/s writes         |
+| E3  | :mod:`.e03_timing`     | binlog LSN-timestamp correlation              |
+| E4  | :mod:`.e04_bufferpool` | buffer-pool dump reveals B+-tree paths        |
+| E5  | :mod:`.e05_diagnostics`| diagnostic tables leak query history          |
+| E6  | :mod:`.e06_residue`    | query text persists in process memory (3 + 3) |
+| E7  | :mod:`.e07_sse_count`  | unique result counts break SSE (63%)          |
+| E8  | :mod:`.e08_lewi_wu`    | 5/25/50 queries leak 12/19/25% of bits        |
+| E9  | :mod:`.e09_seabed`     | SPLASHE digest histogram + frequency analysis |
+| E10 | :mod:`.e10_arx`        | Arx repair writes leak the query transcript   |
+| E11 | :mod:`.e11_ore_aux`    | binomial + bipartite-matching ORE recovery    |
+"""
+
+from .e01_surface import SurfaceResult, run_attack_surface
+from .e02_retention import RetentionResult, run_log_retention
+from .e03_timing import TimingResult, run_binlog_timing
+from .e03b_mongo_timing import MongoTimingResult, run_mongo_timing
+from .e04_bufferpool import BufferPoolResult, run_buffer_pool_paths
+from .e04b_slow_log import SlowLogResult, run_slow_log_inference
+from .e05_diagnostics import DiagnosticsResult, run_diagnostic_tables
+from .e05b_adaptive_hash import AdaptiveHashResult, run_adaptive_hash_leak
+from .e06_residue import ResidueResult, run_memory_residue
+from .e07_sse_count import SseCountResult, run_sse_count_attack
+from .e08_lewi_wu import LewiWuResult, run_lewi_wu_sweep
+from .e09_seabed import SeabedResult, run_seabed_splashe
+from .e09b_seabed_spark import SeabedSparkResult, run_seabed_on_spark
+from .e10_arx import ArxResult, run_arx_transcript
+from .e11_ore_aux import OreAuxResult, run_binomial_matching
+from .e13_ope import OpeSortingResult, run_ope_sorting
+
+__all__ = [
+    "run_attack_surface",
+    "SurfaceResult",
+    "run_log_retention",
+    "RetentionResult",
+    "run_binlog_timing",
+    "TimingResult",
+    "run_mongo_timing",
+    "MongoTimingResult",
+    "run_slow_log_inference",
+    "SlowLogResult",
+    "run_adaptive_hash_leak",
+    "AdaptiveHashResult",
+    "run_buffer_pool_paths",
+    "BufferPoolResult",
+    "run_diagnostic_tables",
+    "DiagnosticsResult",
+    "run_memory_residue",
+    "ResidueResult",
+    "run_sse_count_attack",
+    "SseCountResult",
+    "run_lewi_wu_sweep",
+    "LewiWuResult",
+    "run_seabed_splashe",
+    "SeabedResult",
+    "run_seabed_on_spark",
+    "SeabedSparkResult",
+    "run_arx_transcript",
+    "ArxResult",
+    "run_binomial_matching",
+    "OreAuxResult",
+    "run_ope_sorting",
+    "OpeSortingResult",
+]

@@ -1,0 +1,83 @@
+"""E3b — MongoDB: oplog timestamps and self-timestamping ObjectIds.
+
+Paper §3: "A similar mechanism for replicated transactions in MongoDB also
+records transaction timestamps. Even without this log, the default primary
+key of each MongoDB document contains its creation time."
+
+Protocol: run a bursty write workload on the document store, steal the data
+directory, and measure two recoveries:
+
+1. the **oplog window**: every retained write, with exact timestamps;
+2. the **ObjectId timeline**: with the oplog ignored entirely, per-document
+   creation times recovered from the ``_id`` index alone, scored against
+   ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..clock import SimClock
+from ..mongo import DocumentStore, creation_times_from_ids
+from ..mongo.forensics import capture_disk, write_rate_timeline
+
+
+@dataclass(frozen=True)
+class MongoTimingResult:
+    """Timing recovery from the stolen data directory."""
+
+    documents_inserted: int
+    oplog_retained: int
+    oplog_window_seconds: int
+    objectid_times_exact: bool       # _id timestamps == true insertion times
+    burst_hours_detected: int        # activity buckets found from oplog
+    true_burst_hours: int
+
+
+def run_mongo_timing(
+    num_hours: int = 12,
+    docs_per_burst: int = 20,
+    burst_probability: float = 0.5,
+    oplog_capacity: int = 10_000,
+    seed: int = 0,
+) -> MongoTimingResult:
+    """Bursty inserts over ``num_hours``; recover the timeline from disk."""
+    rng = random.Random(seed)
+    clock = SimClock(start=1_600_000_000)
+    store = DocumentStore(clock=clock, oplog_capacity=oplog_capacity)
+
+    truth: Dict[str, int] = {}
+    burst_hours = 0
+    for _ in range(num_hours):
+        if rng.random() < burst_probability:
+            burst_hours += 1
+            for i in range(docs_per_burst):
+                oid = store.insert_one("events", {"n": i})
+                truth[oid.hex()] = clock.timestamp()
+        clock.advance(3600)
+
+    artifacts = capture_disk(store)
+
+    # Recovery 1: the oplog's exact write history + activity rhythm.
+    timeline = write_rate_timeline(artifacts.oplog_entries, bucket_seconds=3600)
+    window = store.oplog.window()
+    window_seconds = (window[1] - window[0]) if window else 0
+
+    # Recovery 2: ObjectIds alone ("even without this log").
+    recovered = dict(
+        creation_times_from_ids(artifacts.collection_ids.get("events", ()))
+    )
+    exact = all(
+        recovered.get(hex_id) == stamp for hex_id, stamp in truth.items()
+    ) and len(recovered) == len(truth)
+
+    return MongoTimingResult(
+        documents_inserted=len(truth),
+        oplog_retained=len(artifacts.oplog_entries),
+        oplog_window_seconds=window_seconds,
+        objectid_times_exact=exact,
+        burst_hours_detected=len(timeline),
+        true_burst_hours=burst_hours,
+    )

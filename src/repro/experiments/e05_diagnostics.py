@@ -1,0 +1,91 @@
+"""E5 — diagnostic-table leakage via SQL injection (paper §4).
+
+Protocol: a victim application issues parameterized queries; the attacker,
+holding only an injectable connection, pulls ``processlist``, the statement
+history, and the digest summary, and we score:
+
+* how many of the victim's last-N statements are recovered verbatim
+  (bounded by the per-thread history size — the ablation sweeps it), and
+* whether the digest table reproduces the exact query-type histogram.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..forensics import extract_diagnostics_via_injection
+from ..server import MySQLServer, ServerConfig
+from ..sql.digest import canonicalize
+
+
+@dataclass(frozen=True)
+class DiagnosticsResult:
+    """Injection-recovery statistics."""
+
+    history_size: int
+    victim_statements: int
+    verbatim_recovered: int
+    expected_recoverable: int
+    digest_histogram_exact: bool
+
+    @property
+    def verbatim_rate_of_window(self) -> float:
+        return self.verbatim_recovered / self.expected_recoverable
+
+
+def run_diagnostic_tables(
+    victim_statements: int = 40,
+    history_size: int = 10,
+    seed: int = 0,
+) -> DiagnosticsResult:
+    """Run the victim workload and the injection battery; score recovery."""
+    rng = random.Random(seed)
+    server = MySQLServer(ServerConfig(perf_schema_history_size=history_size))
+    victim = server.connect("webapp")
+    attacker = server.connect("webapp")
+    server.execute(
+        victim,
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT, amount INT)",
+    )
+    for i in range(1, 21):
+        server.execute(
+            victim,
+            f"INSERT INTO orders (id, customer, amount) "
+            f"VALUES ({i}, 'cust{i}', {i * 10})",
+        )
+
+    issued: List[str] = []
+    expected_counts: Dict[str, int] = {}
+    templates = (
+        "SELECT amount FROM orders WHERE id = {}",
+        "SELECT id FROM orders WHERE customer = 'cust{}'",
+        "SELECT count(*) FROM orders WHERE amount >= {}",
+    )
+    for _ in range(victim_statements):
+        template = rng.choice(templates)
+        statement = template.format(rng.randint(1, 20))
+        server.execute(victim, statement)
+        issued.append(statement)
+        canonical = canonicalize(statement)
+        expected_counts[canonical] = expected_counts.get(canonical, 0) + 1
+
+    report = extract_diagnostics_via_injection(server, attacker)
+
+    window = issued[-history_size:]
+    recovered_texts = set(report.observed_query_texts)
+    verbatim = sum(1 for statement in window if statement in recovered_texts)
+
+    observed_counts = {
+        text: count
+        for text, count in report.digest_histogram.items()
+        if text in expected_counts
+    }
+    return DiagnosticsResult(
+        history_size=history_size,
+        victim_statements=victim_statements,
+        verbatim_recovered=verbatim,
+        expected_recoverable=len(window),
+        digest_histogram_exact=(observed_counts == expected_counts),
+    )

@@ -1,0 +1,71 @@
+"""SQL-injection extraction of diagnostic tables (paper Section 4).
+
+Models the in-band attacker: everything here is obtained purely by issuing
+``SELECT`` statements against ``information_schema`` / ``performance_schema``
+through a victim application's injectable query path — no file or memory
+access required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..server import MySQLServer, Session
+
+
+@dataclass(frozen=True)
+class DiagnosticsReport:
+    """Everything the injection attacker pulled from the diagnostic tables."""
+
+    processlist: Tuple[tuple, ...]
+    statements_current: Tuple[tuple, ...]
+    statements_history: Tuple[tuple, ...]
+    digest_histogram: Dict[str, int]
+    other_users_queries: Tuple[str, ...]
+
+    @property
+    def observed_query_texts(self) -> List[str]:
+        """All full statement texts recovered via injection."""
+        texts = []
+        for row in self.statements_current + self.statements_history:
+            texts.append(row[2])  # sql_text column
+        return texts
+
+
+def extract_diagnostics_via_injection(
+    server: MySQLServer, session: Session
+) -> DiagnosticsReport:
+    """Run the injected SELECT battery and collate the results.
+
+    ``session`` is the attacker's foothold (e.g. the connection of an
+    injectable web application). The injected queries themselves also get
+    instrumented — real attackers see their own probes in the history too.
+    """
+    processlist = server.execute(
+        session, "SELECT * FROM information_schema.processlist"
+    ).rows
+    current = server.execute(
+        session, "SELECT * FROM performance_schema.events_statements_current"
+    ).rows
+    history = server.execute(
+        session, "SELECT * FROM performance_schema.events_statements_history"
+    ).rows
+    digests = server.execute(
+        session,
+        "SELECT digest_text, count_star FROM "
+        "performance_schema.events_statements_summary_by_digest",
+    ).rows
+
+    other_users = tuple(
+        row[2]
+        for row in current + history
+        if row[0] != session.session_id and row[2] is not None
+    )
+    return DiagnosticsReport(
+        processlist=tuple(processlist),
+        statements_current=tuple(current),
+        statements_history=tuple(history),
+        digest_histogram={text: count for text, count in digests},
+        other_users_queries=other_users,
+    )

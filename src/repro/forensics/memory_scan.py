@@ -1,0 +1,72 @@
+"""Memory-dump scanning: the Section 5 residue analysis.
+
+Implements the measurement the paper performed after dumping the MySQL
+process: counting the distinct heap locations holding (a) the full text of a
+past query and (b) a marker string "by itself", plus carving search tokens
+(long hex strings) that break token-based encrypted databases (Section 6).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..memory import MemoryDump
+
+_HEX_TOKEN = re.compile(rb"[0-9a-f]{32,}")
+
+
+@dataclass(frozen=True)
+class MemoryResidueReport:
+    """Result of the Section 5 residue scan for one marker query."""
+
+    query: str
+    marker: str
+    full_query_locations: int
+    marker_only_locations: int
+    total_marker_locations: int
+
+    @property
+    def leaks(self) -> bool:
+        """The paper's finding: both counts were >= 3 in MySQL."""
+        return self.full_query_locations >= 1 or self.marker_only_locations >= 1
+
+
+def scan_for_query(dump: MemoryDump, query: str, marker: str) -> MemoryResidueReport:
+    """Count residue locations for ``query`` and its random ``marker``.
+
+    Mirrors the paper's accounting: full-query copies are occurrences of the
+    complete statement text; marker-only copies are occurrences of the
+    random string that are *not* inside a full-query copy.
+    """
+    full = dump.count_locations(query)
+    standalone = dump.locations_containing_only(marker, query)
+    return MemoryResidueReport(
+        query=query,
+        marker=marker,
+        full_query_locations=full,
+        marker_only_locations=standalone,
+        total_marker_locations=dump.count_locations(marker),
+    )
+
+
+def scan_for_tokens(dump: MemoryDump, min_hex_length: int = 32) -> List[Tuple[int, str]]:
+    """Carve candidate query tokens (long lowercase-hex runs) from a dump.
+
+    Encrypted-database clients embed trapdoor tokens / ORE ciphertexts in
+    the SQL they send; those strings end up in the same heap locations as
+    any other query text. Returns ``(offset, hex_string)`` pairs.
+    """
+    pattern = re.compile(rb"[0-9a-f]{%d,}" % min_hex_length)
+    return [
+        (m.start(), m.group().decode("ascii"))
+        for m in pattern.finditer(dump.data)
+    ]
+
+
+def carve_statements_containing(dump: MemoryDump, needle: str) -> List[str]:
+    """All carved SQL statements that mention ``needle``."""
+    return [
+        text for _, text in dump.carve_sql() if needle in text
+    ]

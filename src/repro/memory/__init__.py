@@ -1,0 +1,19 @@
+"""Simulated process memory for the DBMS.
+
+Models the two properties of MySQL's heap that drive the paper's Section 5
+memory experiment:
+
+* **no secure deletion** — freed blocks keep their bytes until (and unless)
+  the exact allocation slot is reused (:class:`.heap.SimulatedHeap`);
+* **arena (mem_root) allocation** — per-session bump arenas whose reset
+  merely rewinds the pointer, so the previous query's strings survive at
+  the tail (:class:`.heap.BumpArena`).
+
+:mod:`.dump` provides the memory-dump capture and the string-carving
+scanners a snapshot attacker runs over it.
+"""
+
+from .heap import BumpArena, HeapStats, SimulatedHeap
+from .dump import MemoryDump
+
+__all__ = ["SimulatedHeap", "BumpArena", "HeapStats", "MemoryDump"]

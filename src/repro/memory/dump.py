@@ -1,0 +1,92 @@
+"""Memory-dump capture and string carving.
+
+The Section 5 attacker "dumped the memory of the MySQL process" and searched
+it for query text. :class:`MemoryDump` wraps a captured arena image with the
+scanners that search does: substring location counting, printable-string
+extraction, and SQL-statement carving.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+_SQL_PATTERN = re.compile(
+    rb"(?:SELECT|INSERT|UPDATE|DELETE)\b[\x20-\x7e]{0,512}",
+    re.IGNORECASE,
+)
+_PRINTABLE = re.compile(rb"[\x20-\x7e]{%d,}")
+
+
+class MemoryDump:
+    """A point-in-time copy of the DBMS process memory."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def data(self) -> bytes:
+        return self._data
+
+    # -- substring search ------------------------------------------------------
+
+    def find_all(self, needle: bytes) -> List[int]:
+        """All (possibly overlapping) offsets where ``needle`` occurs."""
+        if not needle:
+            return []
+        offsets = []
+        start = 0
+        while True:
+            idx = self._data.find(needle, start)
+            if idx < 0:
+                return offsets
+            offsets.append(idx)
+            start = idx + 1
+
+    def count_locations(self, text: str) -> int:
+        """Number of distinct locations containing ``text`` (UTF-8)."""
+        return len(self.find_all(text.encode("utf-8")))
+
+    def locations_containing_only(self, marker: str, container: str) -> int:
+        """Locations of ``marker`` that are NOT part of a ``container`` copy.
+
+        The Section 5 experiment distinguishes copies of the full query text
+        from copies of the random marker string "by itself": a marker hit is
+        standalone unless it lies inside an occurrence of the full query.
+        """
+        marker_bytes = marker.encode("utf-8")
+        container_bytes = container.encode("utf-8")
+        container_spans = [
+            (off, off + len(container_bytes))
+            for off in self.find_all(container_bytes)
+        ]
+        standalone = 0
+        for off in self.find_all(marker_bytes):
+            end = off + len(marker_bytes)
+            inside = any(start <= off and end <= stop for start, stop in container_spans)
+            if not inside:
+                standalone += 1
+        return standalone
+
+    # -- carving --------------------------------------------------------------------
+
+    def extract_strings(self, min_length: int = 6) -> List[Tuple[int, str]]:
+        """Printable-ASCII runs of at least ``min_length`` chars."""
+        pattern = re.compile(
+            rb"[\x20-\x7e]{" + str(min_length).encode() + rb",}"
+        )
+        return [
+            (m.start(), m.group().decode("ascii"))
+            for m in pattern.finditer(self._data)
+        ]
+
+    def carve_sql(self) -> List[Tuple[int, str]]:
+        """Candidate SQL statements found in the dump (offset, text)."""
+        return [
+            (m.start(), m.group().decode("ascii", errors="replace"))
+            for m in _SQL_PATTERN.finditer(self._data)
+        ]

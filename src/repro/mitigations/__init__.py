@@ -1,0 +1,23 @@
+"""Mitigations the paper's Discussion section points toward.
+
+Paper §7: "The tension between effective caching and security was noted in
+the early research on history-independent data structures [Naor-Teague], but
+whether history independence can be achieved for practical encrypted
+databases remains an open question. Solving it requires new research into
+designing and implementing databases that efficiently hide queries and
+access patterns."
+
+This package implements the building blocks that discussion names, so their
+costs and limits can be measured against the leaky defaults:
+
+* :mod:`.history_independent` — a uniquely-represented (strongly
+  history-independent) index whose on-disk image is a function of the
+  *content set only*; contrast with the B+ tree, whose page layout encodes
+  insertion history.
+* Secure deletion is the other mitigation modeled in the library proper:
+  ``ServerConfig(secure_delete=True)`` (experiment E6's ablation).
+"""
+
+from .history_independent import HistoryIndependentIndex
+
+__all__ = ["HistoryIndependentIndex"]

@@ -1,0 +1,118 @@
+"""A strongly history-independent (uniquely represented) index.
+
+Naor-Teague (STOC 2001, the paper's [38]): a data structure is *strongly
+history independent* when its memory representation is a canonical function
+of its current contents — two instances holding the same set are
+byte-identical, no matter which operation sequences produced them. A
+snapshot of such a structure reveals the data but **nothing about the past**:
+no insertion order, no deleted keys, no access pattern.
+
+:class:`HistoryIndependentIndex` achieves unique representation the simple,
+provable way: contents live in a canonical sorted array, repacked into
+fixed-size pages deterministically on every serialization. The price is the
+classic one the paper's §7 names — updates cost O(n) against the B+ tree's
+O(log n), and there is no adaptive caching to exploit — quantified by
+``benchmarks/bench_mitigation_history_independence.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..storage.record import encode_row, decode_row
+from ..util.serialization import encode_bytes, encode_uint, decode_bytes, read_uint
+
+
+class HistoryIndependentIndex:
+    """A uniquely-represented ordered map from int keys to byte payloads."""
+
+    def __init__(self, page_capacity: int = 64) -> None:
+        if page_capacity <= 0:
+            raise StorageError(f"page capacity must be positive, got {page_capacity}")
+        self._page_capacity = page_capacity
+        self._keys: List[int] = []
+        self._payloads: List[bytes] = []
+
+    # -- operations ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._keys)
+
+    def insert(self, key: int, payload: bytes) -> None:
+        """Insert ``(key, payload)``; O(n) — the cost of unique representation."""
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            raise StorageError(f"duplicate key {key}")
+        self._keys.insert(index, key)
+        self._payloads.insert(index, bytes(payload))
+
+    def delete(self, key: int) -> bytes:
+        """Remove ``key``; the representation forgets it ever existed."""
+        index = bisect.bisect_left(self._keys, key)
+        if index >= len(self._keys) or self._keys[index] != key:
+            raise StorageError(f"delete of missing key {key}")
+        del self._keys[index]
+        return self._payloads.pop(index)
+
+    def get(self, key: int) -> Optional[bytes]:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._payloads[index]
+        return None
+
+    def range(self, low: Optional[int], high: Optional[int]) -> List[Tuple[int, bytes]]:
+        """Inclusive range scan."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        end = len(self._keys) if high is None else bisect.bisect_right(self._keys, high)
+        return list(zip(self._keys[start:end], self._payloads[start:end]))
+
+    def __iter__(self) -> Iterator[Tuple[int, bytes]]:
+        return iter(zip(self._keys, self._payloads))
+
+    # -- canonical serialization ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The canonical on-disk image: a pure function of the content set.
+
+        Entries are packed in sorted order into pages of exactly
+        ``page_capacity`` entries (last page short); there is no slack, no
+        free list, no insertion-order residue — the property the B+ tree
+        cannot offer.
+        """
+        parts = [encode_uint(self._page_capacity), encode_uint(len(self._keys))]
+        for start in range(0, len(self._keys), self._page_capacity):
+            page_entries = []
+            for key, payload in zip(
+                self._keys[start : start + self._page_capacity],
+                self._payloads[start : start + self._page_capacity],
+            ):
+                page_entries.append(encode_row((key, payload)))
+            page_body = b"".join(encode_bytes(e) for e in page_entries)
+            parts.append(encode_bytes(page_body))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HistoryIndependentIndex":
+        """Parse a canonical image back into an index."""
+        page_capacity, offset = read_uint(data, 0)
+        count, offset = read_uint(data, offset)
+        index = cls(page_capacity=page_capacity)
+        while offset < len(data):
+            page_body, offset = decode_bytes(data, offset)
+            inner = 0
+            while inner < len(page_body):
+                entry, inner = decode_bytes(page_body, inner)
+                row, _ = decode_row(entry)
+                key, payload = row
+                index._keys.append(key)        # already sorted in the image
+                index._payloads.append(payload)
+        if len(index._keys) != count:
+            raise StorageError(
+                f"image declared {count} entries, found {len(index._keys)}"
+            )
+        if index._keys != sorted(index._keys):
+            raise StorageError("non-canonical image: keys out of order")
+        return index

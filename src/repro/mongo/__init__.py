@@ -1,0 +1,41 @@
+"""A MongoDB-flavored document store with the same leakage surface.
+
+Paper §2: "We use MySQL as our running example, but similar caches, logs,
+and data structures exist in all practical DBMS's and can be recovered via
+forensic analysis (e.g., see [8] for MongoDB)." And §3: "A similar mechanism
+for replicated transactions in MongoDB also records transaction timestamps.
+Even without this log, the default primary key of each MongoDB document
+contains its creation time."
+
+This package models exactly those artifacts:
+
+* :mod:`.objectid` — 12-byte ObjectIds whose leading 4 bytes are the UNIX
+  creation timestamp (the "even without this log" leak);
+* :mod:`.oplog` — the replica-set oplog: a capped collection of timestamped
+  operations (MySQL-binlog analog, §3);
+* :mod:`.store` — collections of BSON-ish documents with a query profiler
+  (``system.profile``, the slow-query-log analog) and ``currentOp`` /
+  ``serverStatus`` diagnostics (§4 analogs);
+* :mod:`.forensics` — extraction of write history and timing from a stolen
+  data directory.
+"""
+
+from .objectid import ObjectId
+from .oplog import Oplog, OplogEntry
+from .store import DocumentStore, ProfileEntry
+from .forensics import (
+    MongoDiskArtifacts,
+    creation_times_from_ids,
+    reconstruct_oplog_history,
+)
+
+__all__ = [
+    "ObjectId",
+    "Oplog",
+    "OplogEntry",
+    "DocumentStore",
+    "ProfileEntry",
+    "MongoDiskArtifacts",
+    "creation_times_from_ids",
+    "reconstruct_oplog_history",
+]

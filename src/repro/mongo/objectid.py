@@ -1,0 +1,68 @@
+"""MongoDB ObjectIds: the primary key that timestamps itself.
+
+Real layout (and ours): 4 bytes of UNIX seconds, 5 bytes of machine/process
+identity, 3 bytes of counter. Paper §3: "the default primary key of each
+MongoDB document contains its creation time" — so even a database with every
+log disabled leaks its insertion timeline through the ``_id`` index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """A 12-byte MongoDB-style object id."""
+
+    raw: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.raw) != 12:
+            raise ReproError(f"ObjectId must be 12 bytes, got {len(self.raw)}")
+
+    @property
+    def timestamp(self) -> int:
+        """The embedded creation time (UNIX seconds) — the §3 leak."""
+        return int.from_bytes(self.raw[:4], "big")
+
+    @property
+    def machine_id(self) -> bytes:
+        return self.raw[4:9]
+
+    @property
+    def counter(self) -> int:
+        return int.from_bytes(self.raw[9:12], "big")
+
+    def hex(self) -> str:
+        return self.raw.hex()
+
+    @classmethod
+    def from_hex(cls, text: str) -> "ObjectId":
+        return cls(bytes.fromhex(text))
+
+    def __str__(self) -> str:
+        return self.hex()
+
+
+class ObjectIdGenerator:
+    """Deterministic generator bound to a simulated clock."""
+
+    def __init__(self, now: Callable[[], int], machine_id: bytes = b"\x01\x02\x03\x04\x05") -> None:
+        if len(machine_id) != 5:
+            raise ReproError("machine id must be 5 bytes")
+        self._now = now
+        self._machine_id = machine_id
+        self._counter = 0
+
+    def next(self) -> ObjectId:
+        """Mint the next id at the current clock time."""
+        stamp = self._now() & 0xFFFFFFFF
+        counter = self._counter & 0xFFFFFF
+        self._counter += 1
+        return ObjectId(
+            stamp.to_bytes(4, "big") + self._machine_id + counter.to_bytes(3, "big")
+        )

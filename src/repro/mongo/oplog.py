@@ -1,0 +1,85 @@
+"""The replica-set oplog: MongoDB's binlog analog.
+
+Paper §3: "A similar mechanism for replicated transactions in MongoDB also
+records transaction timestamps." The oplog is a *capped collection* — a
+fixed-size ring, like InnoDB's circular logs — holding one timestamped entry
+per applied write, with the full document (inserts) or the update/delete
+spec. Any replica-set deployment has it; it is the first thing MongoDB
+forensics reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import LogError
+
+_OPS = ("i", "u", "d")  # insert / update / delete, MongoDB's op codes
+
+
+@dataclass(frozen=True)
+class OplogEntry:
+    """One replicated operation.
+
+    Field names mirror the real oplog: ``ts`` (timestamp), ``ns``
+    (namespace, i.e. ``db.collection``), ``op``, ``o`` (the document or
+    update spec), ``o2`` (the row selector for updates).
+    """
+
+    ts: int
+    ns: str
+    op: str
+    o: Dict[str, Any]
+    o2: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise LogError(f"unknown oplog op {self.op!r}")
+
+
+class Oplog:
+    """A capped (entry-count-bounded) oplog."""
+
+    def __init__(self, capacity_entries: int = 10_000, enabled: bool = True) -> None:
+        if capacity_entries <= 0:
+            raise LogError(f"oplog capacity must be positive, got {capacity_entries}")
+        self.enabled = enabled
+        self.capacity_entries = capacity_entries
+        self._entries: List[OplogEntry] = []
+        self._total_appended = 0
+
+    def append(self, entry: OplogEntry) -> None:
+        """Record an applied write (ring semantics past capacity)."""
+        if not self.enabled:
+            return
+        if self._entries and entry.ts < self._entries[-1].ts:
+            raise LogError(
+                f"oplog timestamps must be monotone: {entry.ts} after "
+                f"{self._entries[-1].ts}"
+            )
+        self._entries.append(entry)
+        self._total_appended += 1
+        if len(self._entries) > self.capacity_entries:
+            self._entries.pop(0)
+
+    @property
+    def entries(self) -> List[OplogEntry]:
+        return list(self._entries)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_appended(self) -> int:
+        return self._total_appended
+
+    def window(self) -> Optional[Tuple[int, int]]:
+        """(oldest, newest) retained timestamps — the recoverable history."""
+        if not self._entries:
+            return None
+        return self._entries[0].ts, self._entries[-1].ts
+
+    def for_namespace(self, ns: str) -> List[OplogEntry]:
+        return [e for e in self._entries if e.ns == ns]

@@ -1,0 +1,212 @@
+"""A MongoDB-flavored document store with the paper's diagnostic surfaces.
+
+Operations: ``insert_one``, ``find``, ``update_many``, ``delete_many`` over
+schemaless documents keyed by auto-assigned :class:`ObjectId`. Instrumented
+surfaces (paper §3/§4 analogs):
+
+* every write appends to the **oplog**;
+* slow operations land in the **profiler** (``system.profile``), which —
+  like MySQL's slow log — stores the full query spec;
+* ``current_op()`` and ``server_status()`` expose live diagnostics that an
+  injection-style attacker (NoSQL injection is just as real) can read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..clock import SimClock
+from ..errors import ReproError
+from .objectid import ObjectId, ObjectIdGenerator
+from .oplog import Oplog, OplogEntry
+
+Document = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One ``system.profile`` row: op, namespace, query spec, duration."""
+
+    ts: int
+    ns: str
+    op: str
+    query: Dict[str, Any]
+    duration_ms: float
+    docs_examined: int
+
+
+def _matches(document: Document, query: Dict[str, Any]) -> bool:
+    """Evaluate a (flat, equality/range) Mongo-style query spec."""
+    for key, want in query.items():
+        have = document.get(key)
+        if isinstance(want, dict):
+            for op, bound in want.items():
+                if have is None:
+                    return False
+                if op == "$gte" and not have >= bound:
+                    return False
+                elif op == "$lte" and not have <= bound:
+                    return False
+                elif op == "$gt" and not have > bound:
+                    return False
+                elif op == "$lt" and not have < bound:
+                    return False
+                elif op == "$ne" and not have != bound:
+                    return False
+                elif op not in ("$gte", "$lte", "$gt", "$lt", "$ne"):
+                    raise ReproError(f"unsupported query operator {op!r}")
+        else:
+            if have != want:
+                return False
+    return True
+
+
+class DocumentStore:
+    """One ``mongod``-like instance holding named collections."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        oplog_capacity: int = 10_000,
+        profile_threshold_ms: float = 100.0,
+        database: str = "app",
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.database = database
+        self.oplog = Oplog(capacity_entries=oplog_capacity)
+        self.profile_threshold_ms = profile_threshold_ms
+        self._collections: Dict[str, Dict[str, Document]] = {}
+        self._ids = ObjectIdGenerator(self.clock.timestamp)
+        self._profile: List[ProfileEntry] = []
+        self._ops_total = 0
+        self._current_op: Optional[Dict[str, Any]] = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _ns(self, collection: str) -> str:
+        return f"{self.database}.{collection}"
+
+    def _coll(self, collection: str) -> Dict[str, Document]:
+        return self._collections.setdefault(collection, {})
+
+    def _account(
+        self, op: str, collection: str, query: Dict[str, Any], docs_examined: int
+    ) -> None:
+        self._ops_total += 1
+        duration_ms = 0.05 + docs_examined * 0.01
+        self.clock.advance(duration_ms / 1000.0)
+        if duration_ms >= self.profile_threshold_ms:
+            self._profile.append(
+                ProfileEntry(
+                    ts=self.clock.timestamp(),
+                    ns=self._ns(collection),
+                    op=op,
+                    query=dict(query),
+                    duration_ms=duration_ms,
+                    docs_examined=docs_examined,
+                )
+            )
+
+    # -- CRUD --------------------------------------------------------------------
+
+    def insert_one(self, collection: str, document: Document) -> ObjectId:
+        """Insert a document; assigns an ``_id`` that embeds the clock time."""
+        doc = dict(document)
+        oid = self._ids.next()
+        doc["_id"] = oid
+        self._coll(collection)[oid.hex()] = doc
+        self.oplog.append(
+            OplogEntry(
+                ts=self.clock.timestamp(),
+                ns=self._ns(collection),
+                op="i",
+                o={k: (v.hex() if isinstance(v, ObjectId) else v) for k, v in doc.items()},
+            )
+        )
+        self._account("insert", collection, {}, 0)
+        return oid
+
+    def find(self, collection: str, query: Optional[Dict[str, Any]] = None) -> List[Document]:
+        """Full-scan query (no secondary indexes in this model)."""
+        query = query or {}
+        self._current_op = {
+            "op": "query",
+            "ns": self._ns(collection),
+            "query": dict(query),
+        }
+        docs = list(self._coll(collection).values())
+        matches = [dict(d) for d in docs if _matches(d, query)]
+        self._account("query", collection, query, len(docs))
+        self._current_op = None
+        return matches
+
+    def update_many(
+        self, collection: str, query: Dict[str, Any], changes: Dict[str, Any]
+    ) -> int:
+        """Set fields on every matching document."""
+        count = 0
+        coll = self._coll(collection)
+        for key, doc in coll.items():
+            if not _matches(doc, query):
+                continue
+            doc.update(changes)
+            self.oplog.append(
+                OplogEntry(
+                    ts=self.clock.timestamp(),
+                    ns=self._ns(collection),
+                    op="u",
+                    o={"$set": dict(changes)},
+                    o2={"_id": key},
+                )
+            )
+            count += 1
+        self._account("update", collection, query, len(coll))
+        return count
+
+    def delete_many(self, collection: str, query: Dict[str, Any]) -> int:
+        """Remove every matching document (oplog keeps the selector)."""
+        coll = self._coll(collection)
+        doomed = [key for key, doc in coll.items() if _matches(doc, query)]
+        for key in doomed:
+            del coll[key]
+            self.oplog.append(
+                OplogEntry(
+                    ts=self.clock.timestamp(),
+                    ns=self._ns(collection),
+                    op="d",
+                    o={"_id": key},
+                )
+            )
+        self._account("delete", collection, query, len(coll) + len(doomed))
+        return len(doomed)
+
+    def count(self, collection: str) -> int:
+        return len(self._coll(collection))
+
+    def all_ids(self, collection: str) -> List[ObjectId]:
+        """The ``_id`` index contents — present in any data-directory theft."""
+        return [doc["_id"] for doc in self._coll(collection).values()]
+
+    # -- diagnostics (paper §4 analogs) ------------------------------------------
+
+    def profile_entries(self) -> List[ProfileEntry]:
+        """``system.profile``: the slow-operation log with full query specs."""
+        return list(self._profile)
+
+    def current_op(self) -> Optional[Dict[str, Any]]:
+        """``db.currentOp()``: the in-flight operation, full spec included."""
+        return dict(self._current_op) if self._current_op else None
+
+    def server_status(self) -> Dict[str, Any]:
+        """``db.serverStatus()``: operation counters and oplog window."""
+        return {
+            "opcounters": {"total": self._ops_total},
+            "oplog": {
+                "entries": self.oplog.num_entries,
+                "window": self.oplog.window(),
+            },
+            "collections": {
+                name: len(docs) for name, docs in self._collections.items()
+            },
+        }

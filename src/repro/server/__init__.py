@@ -1,0 +1,44 @@
+"""The MySQL-like database server.
+
+Ties the SQL front end, the storage engine, the process heap, and every
+diagnostic surface together:
+
+* :mod:`.session` — connections (THDs) with per-connection net buffers and
+  ``mem_root`` arenas (the Section 5 memory-residue mechanisms).
+* :mod:`.query_cache` — the internal query cache (Section 5).
+* :mod:`.adaptive_hash` — InnoDB-style hot-page tracking (Section 5).
+* :mod:`.performance_schema` — statement current/history/digest tables
+  (Section 4).
+* :mod:`.information_schema` — ``processlist`` et al. (Section 4).
+* :mod:`.server` — the facade: parse, plan, execute, log, cache, account.
+"""
+
+from .catalog import Catalog, TableSchema
+from .session import Session, SessionState
+from .query_cache import QueryCache, QueryCacheEntry
+from .adaptive_hash import AdaptiveHashIndex
+from .performance_schema import (
+    DigestSummary,
+    PerformanceSchema,
+    StatementEvent,
+)
+from .information_schema import InformationSchema, ProcesslistRow
+from .server import MySQLServer, QueryResult, ServerConfig
+
+__all__ = [
+    "Catalog",
+    "TableSchema",
+    "Session",
+    "SessionState",
+    "QueryCache",
+    "QueryCacheEntry",
+    "AdaptiveHashIndex",
+    "PerformanceSchema",
+    "StatementEvent",
+    "DigestSummary",
+    "InformationSchema",
+    "ProcesslistRow",
+    "MySQLServer",
+    "QueryResult",
+    "ServerConfig",
+]

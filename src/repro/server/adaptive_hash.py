@@ -1,0 +1,80 @@
+"""InnoDB-style adaptive hash index (AHI).
+
+Paper §5: "To adaptively improve performance and support (amortized)
+constant-time retrieval for frequently accessed database pages, InnoDB keeps
+per-page metadata and access counters. If a page is accessed often, InnoDB
+indexes its contents in an adaptive hash index."
+
+We track per-``(table, key)`` lookup counters and promote hot keys into the
+hash index once they cross ``promotion_threshold``. The promoted set — and
+the counters themselves — are volatile state that a memory-snapshot attacker
+reads to learn *which values were queried often*, even when the data is
+encrypted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServerError
+
+
+@dataclass(frozen=True)
+class HotKey:
+    """A promoted (frequently looked-up) index key."""
+
+    table: str
+    key: int
+    access_count: int
+
+
+class AdaptiveHashIndex:
+    """Access-counting promotion cache over index lookups."""
+
+    def __init__(self, enabled: bool = True, promotion_threshold: int = 16) -> None:
+        if promotion_threshold <= 0:
+            raise ServerError(
+                f"promotion threshold must be positive, got {promotion_threshold}"
+            )
+        self.enabled = enabled
+        self.promotion_threshold = promotion_threshold
+        self._counters: Dict[Tuple[str, int], int] = {}
+        self._promoted: Dict[Tuple[str, int], int] = {}
+
+    def record_lookup(self, table: str, key: int) -> None:
+        """Count a point lookup; promote the key once it becomes hot."""
+        if not self.enabled:
+            return
+        slot = (table, key)
+        count = self._counters.get(slot, 0) + 1
+        self._counters[slot] = count
+        if count >= self.promotion_threshold:
+            self._promoted[slot] = count
+        elif slot in self._promoted:
+            self._promoted[slot] = count
+
+    def is_promoted(self, table: str, key: int) -> bool:
+        return (table, key) in self._promoted
+
+    def access_count(self, table: str, key: int) -> int:
+        return self._counters.get((table, key), 0)
+
+    def hot_keys(self) -> List[HotKey]:
+        """The promoted set, hottest first — a snapshot attacker's view."""
+        return sorted(
+            (
+                HotKey(table=t, key=k, access_count=c)
+                for (t, k), c in self._promoted.items()
+            ),
+            key=lambda h: -h.access_count,
+        )
+
+    def counters(self) -> Dict[Tuple[str, int], int]:
+        """All per-key access counters (also visible in a snapshot)."""
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        """Restart semantics: the AHI is volatile."""
+        self._counters.clear()
+        self._promoted.clear()

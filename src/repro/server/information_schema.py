@@ -1,0 +1,73 @@
+"""The ``information_schema`` views.
+
+Paper §4: "The information schema database in MySQL aggregates information
+about the internal state of the DBMS, including contents of caches and how
+many connections are active. It also includes a processlist table with the
+timestamped list of all currently executing queries. By injecting a SELECT
+query on this table, an attacker can obtain queries made by other users."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .session import Session, SessionState
+
+
+@dataclass(frozen=True)
+class ProcesslistRow:
+    """One row of ``information_schema.processlist``."""
+
+    session_id: int
+    user: str
+    command: str
+    time: int
+    state: str
+    info: Optional[str]
+
+
+class InformationSchema:
+    """Synthesized views over live server state."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[int, Session] = {}
+
+    def register_session(self, session: Session) -> None:
+        self._sessions[session.session_id] = session
+
+    def unregister_session(self, session_id: int) -> None:
+        self._sessions.pop(session_id, None)
+
+    def processlist(self, now: int) -> List[ProcesslistRow]:
+        """Current connections with their in-flight statements.
+
+        ``info`` carries the executing statement's full text — the column
+        a SQL-injection attacker SELECTs to watch other users' queries.
+        """
+        rows = []
+        for session_id in sorted(self._sessions):
+            session = self._sessions[session_id]
+            if session.state is SessionState.CLOSED:
+                continue
+            executing = session.state is SessionState.EXECUTING
+            started = session.statement_started_at
+            rows.append(
+                ProcesslistRow(
+                    session_id=session.session_id,
+                    user=session.user,
+                    command="Query" if executing else "Sleep",
+                    time=(now - started) if (executing and started is not None) else 0,
+                    state="executing" if executing else "",
+                    info=session.current_statement if executing else None,
+                )
+            )
+        return rows
+
+    @property
+    def active_connections(self) -> int:
+        return sum(
+            1
+            for s in self._sessions.values()
+            if s.state is not SessionState.CLOSED
+        )

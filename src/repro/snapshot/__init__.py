@@ -1,0 +1,19 @@
+"""Snapshot-attack scenarios and capture (paper Figure 1).
+
+:mod:`.scenario` defines the four concrete attacks and the state quadrants
+each one yields; :mod:`.capture` extracts exactly that state from a running
+:class:`repro.server.MySQLServer` into a :class:`.capture.Snapshot` that the
+forensics and attack modules consume.
+"""
+
+from .scenario import AttackScenario, StateQuadrant, access_matrix, quadrants_for
+from .capture import Snapshot, capture
+
+__all__ = [
+    "AttackScenario",
+    "StateQuadrant",
+    "access_matrix",
+    "quadrants_for",
+    "Snapshot",
+    "capture",
+]

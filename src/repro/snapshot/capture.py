@@ -1,0 +1,150 @@
+"""Snapshot capture: extract exactly what each attack scenario yields.
+
+A :class:`Snapshot` is a frozen bag of artifacts; fields the scenario cannot
+see are ``None``. Downstream forensics must work only from what is present —
+accessing an absent artifact raises :class:`repro.errors.SnapshotError`
+through the checked accessors, which keeps experiments honest about their
+threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SnapshotError
+from ..memory import MemoryDump
+from ..server import MySQLServer
+from ..server.adaptive_hash import HotKey
+from ..server.information_schema import ProcesslistRow
+from ..server.performance_schema import DigestSummary, StatementEvent
+from ..storage.buffer_pool import BufferPoolDump
+from ..engine.binlog import BinlogEvent
+from ..engine.query_logs import QueryLogEntry
+from .scenario import AttackScenario, StateQuadrant, quadrants_for
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One static observation of the DB-hosting system."""
+
+    scenario: AttackScenario
+    captured_at: int
+
+    # -- persistent DB state (disk) --------------------------------------
+    redo_log_raw: Optional[bytes] = None
+    undo_log_raw: Optional[bytes] = None
+    binlog_events: Optional[Tuple[BinlogEvent, ...]] = None
+    binlog_text: Optional[str] = None
+    general_log_entries: Optional[Tuple[QueryLogEntry, ...]] = None
+    slow_log_entries: Optional[Tuple[QueryLogEntry, ...]] = None
+    buffer_pool_dump: Optional[BufferPoolDump] = None
+    tablespace_images: Optional[Dict[str, bytes]] = None
+
+    # -- volatile DB state (memory / queryable) ---------------------------
+    memory_dump: Optional[MemoryDump] = None
+    query_cache_statements: Optional[Tuple[str, ...]] = None
+    statements_current: Optional[Tuple[StatementEvent, ...]] = None
+    statements_history: Optional[Tuple[StatementEvent, ...]] = None
+    digest_summaries: Optional[Tuple[DigestSummary, ...]] = None
+    processlist: Optional[Tuple[ProcesslistRow, ...]] = None
+    adaptive_hash_hot_keys: Optional[Tuple[HotKey, ...]] = None
+    live_buffer_pool: Optional[BufferPoolDump] = None
+
+    # -- checked accessors ----------------------------------------------------
+
+    def _require(self, value, name: str):
+        if value is None:
+            raise SnapshotError(
+                f"{self.scenario.value} snapshot does not include {name}"
+            )
+        return value
+
+    def require_memory_dump(self) -> MemoryDump:
+        return self._require(self.memory_dump, "a process memory dump")
+
+    def require_redo_log(self) -> bytes:
+        return self._require(self.redo_log_raw, "the redo log")
+
+    def require_undo_log(self) -> bytes:
+        return self._require(self.undo_log_raw, "the undo log")
+
+    def require_binlog_events(self) -> Tuple[BinlogEvent, ...]:
+        return self._require(self.binlog_events, "the binlog")
+
+    def require_digest_summaries(self) -> Tuple[DigestSummary, ...]:
+        return self._require(self.digest_summaries, "digest summaries")
+
+    def has_quadrant(self, quadrant: StateQuadrant) -> bool:
+        return quadrant in quadrants_for(self.scenario)
+
+
+def capture(
+    server: MySQLServer,
+    scenario: AttackScenario,
+    escalated: bool = False,
+    full_state: bool = True,
+) -> Snapshot:
+    """Capture the state ``scenario`` reveals from ``server``.
+
+    ``escalated`` applies only to SQL injection: it models the
+    code-execution escalation the paper cites ("SQL injection can be
+    leveraged into arbitrary code execution that bypasses all access
+    restrictions"), which adds the process memory dump and internal
+    structures to the in-band diagnostic haul.
+
+    ``full_state`` applies only to VM snapshots. Paper §2: "Some VM
+    snapshots only contain the persistent storage, whereas full-state
+    snapshots also include the VM's memory and CPU registers. We focus on
+    the latter." ``full_state=False`` models the storage-only leak, which
+    degrades a VM snapshot to the disk-theft artifact set.
+    """
+    quadrants = quadrants_for(scenario)
+    if scenario is AttackScenario.VM_SNAPSHOT and not full_state:
+        quadrants = frozenset(
+            q
+            for q in quadrants
+            if q in (StateQuadrant.PERSISTENT_DB, StateQuadrant.PERSISTENT_OS)
+        )
+    now = server.clock.timestamp()
+
+    kwargs: dict = {"scenario": scenario, "captured_at": now}
+
+    if StateQuadrant.PERSISTENT_DB in quadrants:
+        kwargs.update(
+            redo_log_raw=server.engine.redo_log.raw_bytes(),
+            undo_log_raw=server.engine.undo_log.raw_bytes(),
+            binlog_events=tuple(server.engine.binlog.events),
+            binlog_text=server.engine.binlog.to_text(),
+            general_log_entries=tuple(server.general_log.entries),
+            slow_log_entries=tuple(server.slow_log.entries),
+            buffer_pool_dump=server.last_buffer_pool_dump,
+            tablespace_images={
+                name: server.engine.tablespace(name).to_bytes()
+                for name in server.engine.table_names
+            },
+        )
+
+    if StateQuadrant.VOLATILE_DB in quadrants:
+        diagnostic_kwargs = dict(
+            statements_current=tuple(server.perf_schema.events_statements_current()),
+            statements_history=tuple(server.perf_schema.events_statements_history()),
+            digest_summaries=tuple(
+                server.perf_schema.events_statements_summary_by_digest()
+            ),
+            processlist=tuple(server.info_schema.processlist(now)),
+        )
+        structure_kwargs = dict(
+            memory_dump=MemoryDump(server.heap.snapshot()),
+            query_cache_statements=tuple(server.query_cache.statements),
+            adaptive_hash_hot_keys=tuple(server.adaptive_hash.hot_keys()),
+            live_buffer_pool=server.engine.buffer_pool.dump(),
+        )
+        kwargs.update(diagnostic_kwargs)
+        # The raw data structures (heap, query cache, AHI, live pool) are
+        # "strictly internal to MySQL" (Section 5): SQL injection only gets
+        # them after escalating to arbitrary code execution.
+        if scenario is not AttackScenario.SQL_INJECTION or escalated:
+            kwargs.update(structure_kwargs)
+
+    return Snapshot(**kwargs)

@@ -1,0 +1,110 @@
+"""The four concrete attacks and what state each yields (paper §2, Figure 1).
+
+The paper abstracts a DB-hosting system into four state quadrants —
+{volatile, persistent} x {DB, OS} — and maps each realistic attack to the
+quadrants it reveals:
+
+* **Disk theft** — persistent OS and DB state, no volatile state.
+* **SQL injection** — "full control of the memory space of the DB process":
+  persistent and volatile **DB** state.
+* **VM snapshot leak** (full-state snapshot) — persistent and volatile OS
+  and DB state.
+* **Full-system compromise** — everything (and, beyond a snapshot,
+  persistence — which we don't need: the whole point is that one snapshot
+  already suffices).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+
+class StateQuadrant(enum.Enum):
+    """One quadrant of the paper's system abstraction."""
+
+    VOLATILE_DB = "volatile_db"
+    PERSISTENT_DB = "persistent_db"
+    VOLATILE_OS = "volatile_os"
+    PERSISTENT_OS = "persistent_os"
+
+
+class AttackScenario(enum.Enum):
+    """The concrete attacks of Figure 1."""
+
+    DISK_THEFT = "disk_theft"
+    SQL_INJECTION = "sql_injection"
+    VM_SNAPSHOT = "vm_snapshot"
+    FULL_COMPROMISE = "full_compromise"
+
+
+_ACCESS: Dict[AttackScenario, FrozenSet[StateQuadrant]] = {
+    AttackScenario.DISK_THEFT: frozenset(
+        {StateQuadrant.PERSISTENT_DB, StateQuadrant.PERSISTENT_OS}
+    ),
+    AttackScenario.SQL_INJECTION: frozenset(
+        {StateQuadrant.PERSISTENT_DB, StateQuadrant.VOLATILE_DB}
+    ),
+    AttackScenario.VM_SNAPSHOT: frozenset(
+        {
+            StateQuadrant.PERSISTENT_DB,
+            StateQuadrant.VOLATILE_DB,
+            StateQuadrant.PERSISTENT_OS,
+            StateQuadrant.VOLATILE_OS,
+        }
+    ),
+    AttackScenario.FULL_COMPROMISE: frozenset(
+        {
+            StateQuadrant.PERSISTENT_DB,
+            StateQuadrant.VOLATILE_DB,
+            StateQuadrant.PERSISTENT_OS,
+            StateQuadrant.VOLATILE_OS,
+        }
+    ),
+}
+
+#: The artifact columns of Figure 1's right-hand table.
+ARTIFACT_COLUMNS: Tuple[str, ...] = ("logs", "diagnostic_tables", "data_structures")
+
+_ARTIFACT_NEEDS: Dict[str, StateQuadrant] = {
+    # On-disk logs (redo/undo, binlog, query logs, buffer-pool dump file).
+    "logs": StateQuadrant.PERSISTENT_DB,
+    # Queryable diagnostic tables (information_schema / performance_schema).
+    "diagnostic_tables": StateQuadrant.VOLATILE_DB,
+    # In-memory data structures (heap, query cache, AHI, buffer pool).
+    "data_structures": StateQuadrant.VOLATILE_DB,
+}
+
+
+def quadrants_for(scenario: AttackScenario) -> FrozenSet[StateQuadrant]:
+    """State quadrants revealed by ``scenario``."""
+    return _ACCESS[scenario]
+
+
+def reveals(scenario: AttackScenario, quadrant: StateQuadrant) -> bool:
+    """Whether ``scenario`` reveals ``quadrant``."""
+    return quadrant in _ACCESS[scenario]
+
+
+def access_matrix() -> Dict[AttackScenario, Dict[str, bool]]:
+    """Figure 1's right-hand table: scenario x artifact column.
+
+    SQL injection yields the persistent and volatile DB state (the paper
+    notes injection "enables arbitrary code injection", so on-disk DB files
+    are reachable), but NOT the raw in-memory data structures column:
+    Section 5 points out the query cache "is strictly internal to MySQL and
+    cannot be exposed via information_schema". Dumping the process memory
+    requires the code-execution escalation — modeled by
+    :func:`repro.snapshot.capture.capture` with ``escalated=True``.
+    """
+    matrix: Dict[AttackScenario, Dict[str, bool]] = {}
+    for scenario in AttackScenario:
+        revealed = _ACCESS[scenario]
+        row = {
+            column: _ARTIFACT_NEEDS[column] in revealed
+            for column in ARTIFACT_COLUMNS
+        }
+        if scenario is AttackScenario.SQL_INJECTION:
+            row["data_structures"] = False  # requires the code-exec escalation
+        matrix[scenario] = row
+    return matrix

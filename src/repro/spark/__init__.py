@@ -1,0 +1,28 @@
+"""A Spark-flavored analytics engine with the event-history leak surface.
+
+Paper §6, on Seabed (which targets Spark-style analytics): "If SPLASHE runs
+on Spark, the attacker can simply obtain queries from the event history
+server [57] or from the heap of the worker nodes."
+
+* :mod:`.events` — the event log: JSON-lines job/stage events including the
+  job description (the query text!), persisted so the history server can
+  replay them — i.e. **persistent** state, reachable by disk theft.
+* :mod:`.engine` — a mini cluster: a driver that plans SQL-ish aggregation
+  jobs over partitioned data, executors with simulated heaps that retain
+  task expressions (no secure deletion there either).
+* :mod:`.forensics` — recover the full query history from the event log and
+  carve expressions from executor heaps.
+"""
+
+from .events import EventLog, SparkEvent
+from .engine import MiniSparkCluster, SparkJobResult
+from .forensics import history_server_queries, scan_executor_heaps
+
+__all__ = [
+    "EventLog",
+    "SparkEvent",
+    "MiniSparkCluster",
+    "SparkJobResult",
+    "history_server_queries",
+    "scan_executor_heaps",
+]

@@ -1,0 +1,99 @@
+"""The Spark event log: persisted job history, query text included.
+
+Real Spark writes one JSON object per listener event to an event-log file;
+the history server renders them after the fact. Crucially for the paper,
+``SparkListenerJobStart`` carries the job description / SQL text — so the
+*persistent* event log is a verbatim query journal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import LogError
+
+_EVENT_TYPES = (
+    "SparkListenerJobStart",
+    "SparkListenerJobEnd",
+    "SparkListenerStageCompleted",
+)
+
+
+@dataclass(frozen=True)
+class SparkEvent:
+    """One listener event."""
+
+    event_type: str
+    timestamp: int
+    job_id: int
+    payload: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.event_type not in _EVENT_TYPES:
+            raise LogError(f"unknown event type {self.event_type!r}")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "Event": self.event_type,
+                "Timestamp": self.timestamp,
+                "Job ID": self.job_id,
+                **self.payload,
+            },
+            sort_keys=True,
+        )
+
+
+class EventLog:
+    """Append-only JSON-lines event log (enabled by default, like clusters
+    that want a working history server)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[SparkEvent] = []
+
+    def append(self, event: SparkEvent) -> None:
+        if not self.enabled:
+            return
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[SparkEvent]:
+        return list(self._events)
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    def to_jsonl(self) -> str:
+        """The on-disk event-log file contents."""
+        return "\n".join(e.to_json() for e in self._events) + ("\n" if self._events else "")
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[SparkEvent]:
+        """Parse an event-log file back into events (history-server path)."""
+        events = []
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                blob = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LogError(f"bad event-log line {line_no}: {exc}") from exc
+            payload = {
+                k: v
+                for k, v in blob.items()
+                if k not in ("Event", "Timestamp", "Job ID")
+            }
+            events.append(
+                SparkEvent(
+                    event_type=blob["Event"],
+                    timestamp=blob["Timestamp"],
+                    job_id=blob["Job ID"],
+                    payload=payload,
+                )
+            )
+        return events

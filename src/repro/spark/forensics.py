@@ -1,0 +1,46 @@
+"""Recovering query history from the Spark-side artifacts (paper §6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..memory import MemoryDump
+from .engine import MiniSparkCluster
+from .events import EventLog, SparkEvent
+
+
+def history_server_queries(event_log_jsonl: str) -> List[Tuple[int, int, str]]:
+    """What the history server shows: every job's time, id, and query text.
+
+    Input is the persisted event-log file — disk theft suffices; no cluster
+    access needed.
+    """
+    out = []
+    for event in EventLog.parse_jsonl(event_log_jsonl):
+        if event.event_type == "SparkListenerJobStart":
+            out.append(
+                (event.timestamp, event.job_id, event.payload["Job Description"])
+            )
+    return out
+
+
+def query_histogram(event_log_jsonl: str) -> Dict[str, int]:
+    """Per-query-text counts — the SPLASHE histogram, verbatim this time."""
+    histogram: Dict[str, int] = {}
+    for _, _, description in history_server_queries(event_log_jsonl):
+        histogram[description] = histogram.get(description, 0) + 1
+    return histogram
+
+
+def scan_executor_heaps(cluster: MiniSparkCluster, needle: str) -> Dict[int, int]:
+    """Occurrences of ``needle`` in each executor's heap dump.
+
+    The "heap of the worker nodes" channel: task expressions are freed
+    without zeroing, so past queries' filter expressions persist on every
+    worker that ever ran one of their tasks.
+    """
+    hits = {}
+    for executor in cluster.executors:
+        dump = MemoryDump(executor.heap.snapshot())
+        hits[executor.executor_id] = dump.count_locations(needle)
+    return hits

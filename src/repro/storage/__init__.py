@@ -1,0 +1,31 @@
+"""Storage substrate: records, pages, tablespaces, B+ trees, buffer pool.
+
+This layer plays the role of InnoDB's on-disk format in the simulation. Rows
+are serialized to bytes (:mod:`.record`), stored in fixed-size pages
+(:mod:`.page`) grouped into per-table tablespaces (:mod:`.tablespace`),
+indexed by a page-oriented B+ tree (:mod:`.btree`), and cached by an LRU
+buffer pool that can dump its page list to disk exactly like MySQL's
+``ib_buffer_pool`` file (:mod:`.buffer_pool`) — the Section 3 read-inference
+artifact.
+"""
+
+from .record import Row, decode_row, encode_row
+from .page import Page, PageType, PAGE_SIZE
+from .tablespace import Tablespace
+from .btree import BTree, AccessPath
+from .buffer_pool import BufferPool, BufferPoolDump, PageRef
+
+__all__ = [
+    "Row",
+    "encode_row",
+    "decode_row",
+    "Page",
+    "PageType",
+    "PAGE_SIZE",
+    "Tablespace",
+    "BTree",
+    "AccessPath",
+    "BufferPool",
+    "BufferPoolDump",
+    "PageRef",
+]

@@ -1,0 +1,139 @@
+"""LRU buffer pool with an ``ib_buffer_pool``-style dump file.
+
+Paper §3 ("Inferring reads"): "On shutdown and at other points during normal
+server operation, MySQL creates a file in the data directory containing the
+current pages in the buffer pool in LRU order. This is done to avoid a
+'warm-up' period ... This file reveals information about several previous
+SELECT queries, such as the paths through the B+ tree that MySQL took when
+evaluating them."
+
+:class:`BufferPool` tracks ``(space_id, page_id)`` references in LRU order
+with per-page access counters (the counters also feed the adaptive hash
+index, §5). :meth:`BufferPool.dump` emits the dump file; the parser lives in
+:mod:`repro.forensics.buffer_pool_dump`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BufferPoolError
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """A buffer-pool resident page: identity, level, and access count."""
+
+    space_id: int
+    page_id: int
+    level: int
+    access_count: int
+
+
+@dataclass(frozen=True)
+class BufferPoolDump:
+    """The serialized dump: page refs in LRU order, most recent first.
+
+    Like MySQL's ``ib_buffer_pool`` file this contains only page identities
+    (plus, in our simulation, the tree level and access counter that InnoDB
+    keeps in its in-memory page descriptors).
+    """
+
+    entries: Tuple[PageRef, ...]
+
+    def to_text(self) -> str:
+        """Render the on-disk dump format (one ``space,page`` pair per line)."""
+        lines = ["# repro ib_buffer_pool dump (MRU first)"]
+        for ref in self.entries:
+            lines.append(
+                f"{ref.space_id},{ref.page_id},{ref.level},{ref.access_count}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident pages. MySQL's default pool is 128 MiB / 16 KiB =
+        8192 pages; tests use tiny capacities to force eviction.
+    """
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        # key -> (level, access_count); insertion order tracks recency
+        # (last item = most recently used).
+        self._pages: "OrderedDict[Tuple[int, int], Tuple[int, int]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- access ------------------------------------------------------------
+
+    def touch(self, space_id: int, page_id: int, level: int = 0) -> None:
+        """Record an access to ``(space_id, page_id)``, evicting LRU if full."""
+        key = (space_id, page_id)
+        if key in self._pages:
+            _, count = self._pages.pop(key)
+            self._pages[key] = (level, count + 1)
+            self._hits += 1
+            return
+        self._misses += 1
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+            self._evictions += 1
+        self._pages[key] = (level, 1)
+
+    def contains(self, space_id: int, page_id: int) -> bool:
+        return (space_id, page_id) in self._pages
+
+    def access_count(self, space_id: int, page_id: int) -> int:
+        """Access counter for a resident page (0 if evicted/never seen)."""
+        entry = self._pages.get((space_id, page_id))
+        return entry[1] if entry else 0
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters (feeds the performance schema)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "resident": len(self._pages),
+        }
+
+    # -- dump ----------------------------------------------------------------
+
+    def lru_order(self) -> List[PageRef]:
+        """Resident pages, most-recently-used first."""
+        refs = []
+        for (space_id, page_id), (level, count) in reversed(self._pages.items()):
+            refs.append(
+                PageRef(
+                    space_id=space_id,
+                    page_id=page_id,
+                    level=level,
+                    access_count=count,
+                )
+            )
+        return refs
+
+    def dump(self) -> BufferPoolDump:
+        """Produce the ``ib_buffer_pool`` dump artifact (MRU-first)."""
+        return BufferPoolDump(entries=tuple(self.lru_order()))
+
+    def clear(self) -> None:
+        """Drop all resident pages (server restart without warm-up)."""
+        self._pages.clear()

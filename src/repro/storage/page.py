@@ -1,0 +1,169 @@
+"""Fixed-size storage pages.
+
+Pages are the unit of buffer-pool caching and of B+-tree structure, mirroring
+InnoDB's 16 KiB pages. A page holds slotted byte records plus a small header
+(page id, type, level). ``to_bytes``/``from_bytes`` give the raw on-disk
+image that disk-theft forensics parses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..errors import PageError
+from ..util.serialization import encode_bytes, encode_uint, decode_bytes, read_uint
+
+#: InnoDB default page size.
+PAGE_SIZE = 16 * 1024
+
+_HEADER_SIZE = 16  # page_id(4) + type(4) + level(4) + nrecords(4)
+
+
+class PageType(enum.Enum):
+    """What a page stores (subset of InnoDB page types)."""
+
+    INDEX_INTERNAL = 1
+    INDEX_LEAF = 2
+    ALLOCATED = 3  # reserved but not yet structured
+
+
+class Page:
+    """A slotted page of serialized records.
+
+    Parameters
+    ----------
+    page_id:
+        Identity within its tablespace.
+    page_type:
+        Structural role (internal/leaf).
+    level:
+        B+-tree level, 0 for leaves.
+    capacity:
+        Byte budget for records (header excluded); defaults to
+        :data:`PAGE_SIZE` minus the header.
+    """
+
+    def __init__(
+        self,
+        page_id: int,
+        page_type: PageType = PageType.ALLOCATED,
+        level: int = 0,
+        capacity: int = PAGE_SIZE - _HEADER_SIZE,
+    ) -> None:
+        if page_id < 0:
+            raise PageError(f"page id must be non-negative, got {page_id}")
+        if capacity <= 0:
+            raise PageError(f"page capacity must be positive, got {capacity}")
+        self.page_id = page_id
+        self.page_type = page_type
+        self.level = level
+        self.capacity = capacity
+        self._records: List[bytes] = []
+        self._used = 0
+
+    # -- record management -----------------------------------------------
+
+    @property
+    def records(self) -> List[bytes]:
+        """The stored record byte strings (copy-safe view)."""
+        return list(self._records)
+
+    @property
+    def num_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    def record_fits(self, record: bytes) -> bool:
+        """Whether ``record`` (plus its length prefix) fits in free space."""
+        return len(record) + 4 <= self.free_bytes
+
+    def insert(self, record: bytes, slot: Optional[int] = None) -> int:
+        """Insert ``record`` at ``slot`` (append if ``None``); return slot."""
+        if not self.record_fits(record):
+            raise PageError(
+                f"page {self.page_id} overflow: record of {len(record)} bytes, "
+                f"{self.free_bytes} free"
+            )
+        if slot is None:
+            slot = len(self._records)
+        if not 0 <= slot <= len(self._records):
+            raise PageError(f"bad slot {slot} for page with {len(self._records)} records")
+        self._records.insert(slot, bytes(record))
+        self._used += len(record) + 4
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Read the record at ``slot``."""
+        self._check_slot(slot)
+        return self._records[slot]
+
+    def replace(self, slot: int, record: bytes) -> bytes:
+        """Overwrite ``slot`` with ``record``; return the old bytes."""
+        self._check_slot(slot)
+        old = self._records[slot]
+        delta = len(record) - len(old)
+        if delta > self.free_bytes:
+            raise PageError(
+                f"page {self.page_id} overflow replacing slot {slot}"
+            )
+        self._records[slot] = bytes(record)
+        self._used += delta
+        return old
+
+    def delete(self, slot: int) -> bytes:
+        """Remove and return the record at ``slot``."""
+        self._check_slot(slot)
+        old = self._records.pop(slot)
+        self._used -= len(old) + 4
+        return old
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < len(self._records):
+            raise PageError(
+                f"bad slot {slot} for page {self.page_id} "
+                f"({len(self._records)} records)"
+            )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the raw page image (header + length-prefixed records)."""
+        parts = [
+            encode_uint(self.page_id),
+            encode_uint(self.page_type.value),
+            encode_uint(self.level),
+            encode_uint(len(self._records)),
+        ]
+        parts.extend(encode_bytes(record) for record in self._records)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, capacity: int = PAGE_SIZE - _HEADER_SIZE) -> "Page":
+        """Parse a page image produced by :meth:`to_bytes`."""
+        page_id, offset = read_uint(data, 0)
+        type_value, offset = read_uint(data, offset)
+        level, offset = read_uint(data, offset)
+        count, offset = read_uint(data, offset)
+        try:
+            page_type = PageType(type_value)
+        except ValueError:
+            raise PageError(f"unknown page type {type_value}") from None
+        page = cls(page_id, page_type, level, capacity)
+        for _ in range(count):
+            record, offset = decode_bytes(data, offset)
+            page.insert(record)
+        return page
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self.page_id}, type={self.page_type.name}, "
+            f"level={self.level}, records={len(self._records)})"
+        )

@@ -1,0 +1,98 @@
+"""Tablespaces: per-table page containers.
+
+A tablespace owns a set of pages addressed by page id — the simulation's
+equivalent of an InnoDB ``.ibd`` file. All page reads go through the buffer
+pool attached by the caller (see :class:`repro.storage.buffer_pool.BufferPool`)
+so that access patterns leave the cache evidence the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import StorageError
+from .page import Page, PageType
+
+
+class Tablespace:
+    """A named collection of pages with sequential id allocation."""
+
+    def __init__(self, space_id: int, name: str) -> None:
+        if space_id < 0:
+            raise StorageError(f"space id must be non-negative, got {space_id}")
+        self.space_id = space_id
+        self.name = name
+        self._pages: Dict[int, Page] = {}
+        self._next_page_id = 0
+
+    def allocate(
+        self, page_type: PageType = PageType.ALLOCATED, level: int = 0
+    ) -> Page:
+        """Create a new page and register it in this tablespace."""
+        page = Page(self._next_page_id, page_type, level)
+        self._pages[page.page_id] = page
+        self._next_page_id += 1
+        return page
+
+    def page(self, page_id: int) -> Page:
+        """Fetch a page by id."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(
+                f"tablespace {self.name!r} has no page {page_id}"
+            ) from None
+
+    def has_page(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def free(self, page_id: int) -> None:
+        """Release a page (e.g. after a B+-tree merge)."""
+        if page_id not in self._pages:
+            raise StorageError(
+                f"tablespace {self.name!r} cannot free unknown page {page_id}"
+            )
+        del self._pages[page_id]
+
+    @property
+    def page_ids(self) -> List[int]:
+        return sorted(self._pages)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[Page]:
+        for page_id in sorted(self._pages):
+            yield self._pages[page_id]
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole tablespace (the ``.ibd`` image for disk theft)."""
+        from ..util.serialization import encode_bytes, encode_uint, encode_str
+
+        parts = [encode_uint(self.space_id), encode_str(self.name),
+                 encode_uint(len(self._pages))]
+        for page_id in sorted(self._pages):
+            parts.append(encode_bytes(self._pages[page_id].to_bytes()))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Tablespace":
+        """Parse a tablespace image produced by :meth:`to_bytes`."""
+        from ..util.serialization import decode_bytes, decode_str, read_uint
+
+        space_id, offset = read_uint(data, 0)
+        name, offset = decode_str(data, offset)
+        count, offset = read_uint(data, offset)
+        space = cls(space_id, name)
+        max_id = -1
+        for _ in range(count):
+            image, offset = decode_bytes(data, offset)
+            page = Page.from_bytes(image)
+            space._pages[page.page_id] = page
+            max_id = max(max_id, page.page_id)
+        space._next_page_id = max_id + 1
+        return space
+
+    def __repr__(self) -> str:
+        return f"Tablespace(space_id={self.space_id}, name={self.name!r}, pages={len(self._pages)})"

@@ -1,0 +1,21 @@
+"""Forensic command-line tools.
+
+The operational face of :mod:`repro.forensics` — each tool parses one stolen
+artifact file, mirroring the real-world utilities the paper mentions
+(``mysqlbinlog`` "comes pre-installed with MySQL"):
+
+* ``repro-demo``       — run a canned victim workload and write every disk
+  artifact (plus a memory dump) into a directory, so the other tools have
+  real input to chew on.
+* ``repro-binlog``     — the ``mysqlbinlog`` equivalent: print timestamped
+  statements from a binlog dump, optionally fitting the LSN-time model.
+* ``repro-logparse``   — reconstruct INSERT/UPDATE/DELETE history from raw
+  redo/undo log images.
+* ``repro-bufferpool`` — infer B+-tree access paths from an
+  ``ib_buffer_pool`` dump.
+* ``repro-memscan``    — carve SQL statements, markers, and candidate tokens
+  from a raw memory dump.
+
+Install exposes them as console scripts; they are also runnable as
+``python -m repro.tools.<name>``.
+"""

@@ -1,0 +1,61 @@
+"""``repro-memscan``: carve query text and tokens from a memory dump.
+
+The paper §5 measurement as a tool: given a raw process-memory image, print
+carved SQL statements, candidate search tokens (long hex runs), and —
+with ``--marker`` — the residue counts for a specific string.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..memory import MemoryDump
+from ..forensics.memory_scan import scan_for_tokens
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-memscan", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("dump", type=Path, help="raw memory image (memory.dump)")
+    parser.add_argument(
+        "--marker", default=None, help="count locations of this string"
+    )
+    parser.add_argument(
+        "--tokens", action="store_true", help="list candidate hex tokens"
+    )
+    parser.add_argument(
+        "--max-statements", type=int, default=20, help="cap carved SQL output"
+    )
+    args = parser.parse_args(argv)
+
+    dump = MemoryDump(args.dump.read_bytes())
+    print(f"memory image: {dump.size:,} bytes")
+
+    statements = dump.carve_sql()
+    print(f"\ncarved SQL statements ({len(statements)} total):")
+    seen = set()
+    shown = 0
+    for offset, text in statements:
+        if text in seen or shown >= args.max_statements:
+            continue
+        seen.add(text)
+        shown += 1
+        print(f"  @{offset:>8d}: {text}")
+
+    if args.tokens:
+        tokens = scan_for_tokens(dump)
+        print(f"\ncandidate tokens ({len(tokens)}):")
+        for offset, hexstr in tokens[:20]:
+            print(f"  @{offset:>8d}: {hexstr[:64]}{'...' if len(hexstr) > 64 else ''}")
+
+    if args.marker is not None:
+        count = dump.count_locations(args.marker)
+        print(f"\nmarker {args.marker!r}: {count} locations")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

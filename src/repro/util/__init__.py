@@ -1,0 +1,24 @@
+"""Small shared utilities: serialization, RNG helpers, text helpers."""
+
+from .serialization import (
+    decode_bytes,
+    decode_str,
+    decode_uint,
+    encode_bytes,
+    encode_str,
+    encode_uint,
+    read_uint,
+)
+from .text import format_bytes, truncate
+
+__all__ = [
+    "encode_uint",
+    "decode_uint",
+    "read_uint",
+    "encode_bytes",
+    "decode_bytes",
+    "encode_str",
+    "decode_str",
+    "truncate",
+    "format_bytes",
+]

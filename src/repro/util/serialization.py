@@ -1,0 +1,85 @@
+"""Byte-level serialization helpers.
+
+The storage engine serializes rows, log records, and page payloads into raw
+bytes so that forensic tooling can operate the way real InnoDB forensics does:
+by parsing byte streams, not by walking Python objects. Everything here uses
+explicit little-endian, length-prefixed encodings.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..errors import RecordError
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def encode_uint(value: int, width: int = 4) -> bytes:
+    """Encode a non-negative integer as ``width`` little-endian bytes."""
+    if value < 0:
+        raise RecordError(f"cannot encode negative integer {value}")
+    if width == 4:
+        if value > 0xFFFFFFFF:
+            raise RecordError(f"{value} does not fit in 4 bytes")
+        return _U32.pack(value)
+    if width == 8:
+        if value > 0xFFFFFFFFFFFFFFFF:
+            raise RecordError(f"{value} does not fit in 8 bytes")
+        return _U64.pack(value)
+    raise RecordError(f"unsupported integer width {width}")
+
+
+def decode_uint(data: bytes, width: int = 4) -> int:
+    """Decode a little-endian unsigned integer of ``width`` bytes."""
+    if len(data) != width:
+        raise RecordError(f"expected {width} bytes, got {len(data)}")
+    if width == 4:
+        return _U32.unpack(data)[0]
+    if width == 8:
+        return _U64.unpack(data)[0]
+    raise RecordError(f"unsupported integer width {width}")
+
+
+def read_uint(data: bytes, offset: int, width: int = 4) -> Tuple[int, int]:
+    """Read an unsigned integer at ``offset``; return ``(value, new_offset)``."""
+    end = offset + width
+    if end > len(data):
+        raise RecordError(
+            f"truncated integer at offset {offset} (need {width} bytes, "
+            f"have {len(data) - offset})"
+        )
+    return decode_uint(data[offset:end], width), end
+
+
+def encode_bytes(payload: bytes) -> bytes:
+    """Encode a byte string with a 4-byte length prefix."""
+    return encode_uint(len(payload)) + payload
+
+
+def decode_bytes(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a length-prefixed byte string; return ``(payload, new_offset)``."""
+    length, offset = read_uint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise RecordError(
+            f"truncated byte string at offset {offset} "
+            f"(declared {length} bytes, have {len(data) - offset})"
+        )
+    return data[offset:end], end
+
+
+def encode_str(text: str) -> bytes:
+    """Encode a string as length-prefixed UTF-8."""
+    return encode_bytes(text.encode("utf-8"))
+
+
+def decode_str(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Decode a length-prefixed UTF-8 string; return ``(text, new_offset)``."""
+    payload, offset = decode_bytes(data, offset)
+    try:
+        return payload.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise RecordError(f"invalid UTF-8 payload: {exc}") from exc

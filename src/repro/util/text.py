@@ -1,0 +1,24 @@
+"""Text helpers used by logs and reporting."""
+
+from __future__ import annotations
+
+
+def truncate(text: str, limit: int = 80) -> str:
+    """Shorten ``text`` to at most ``limit`` characters with an ellipsis."""
+    if limit <= 3:
+        return text[:limit]
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count in human-friendly units (MySQL-style binary)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"

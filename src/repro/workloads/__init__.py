@@ -1,0 +1,28 @@
+"""Workload generators: data and query distributions for the experiments.
+
+* :mod:`.corpus` — a Zipf-distributed synthetic email corpus standing in
+  for Enron (the substitution is documented in DESIGN.md §2).
+* :mod:`.tables` — relational demo data (the CUSTOMERS table of §4).
+* :mod:`.queries` — query generators: uniform range queries (the Lewi-Wu
+  simulation), Zipfian point queries (frequency-analysis experiments).
+"""
+
+from .corpus import Corpus, Document, generate_corpus
+from .tables import CustomerRow, generate_customers, customer_insert_statements
+from .queries import (
+    uniform_range_queries,
+    zipf_point_queries,
+    zipf_frequencies,
+)
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "generate_corpus",
+    "CustomerRow",
+    "generate_customers",
+    "customer_insert_statements",
+    "uniform_range_queries",
+    "zipf_point_queries",
+    "zipf_frequencies",
+]

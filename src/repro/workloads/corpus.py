@@ -1,0 +1,132 @@
+"""A synthetic email corpus with Enron-like keyword statistics.
+
+The count attack (paper §6, experiment E7) depends on one corpus property:
+among the most frequent keywords, most have a **unique** document count
+("63% of the 500 most frequent words in the Enron email corpus have a unique
+result count"). Natural-language corpora get this from Zipf's law: document
+frequencies fall off as ``rank^-s``, so neighboring ranks rarely collide.
+
+``generate_corpus`` draws per-keyword document counts from a Zipf profile
+over a configurable vocabulary and materializes documents containing those
+keywords; the resulting top-k unique-count fraction lands in the empirical
+regime the paper cites (the benchmark measures it explicitly).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+_WORD_STEMS = (
+    "meeting", "contract", "energy", "price", "trade", "report", "market",
+    "deal", "schedule", "review", "budget", "forecast", "legal", "offer",
+    "invoice", "project", "credit", "risk", "audit", "payment",
+)
+
+
+def _vocabulary(size: int) -> List[str]:
+    words = []
+    index = 0
+    while len(words) < size:
+        stem = _WORD_STEMS[index % len(_WORD_STEMS)]
+        suffix = index // len(_WORD_STEMS)
+        words.append(stem if suffix == 0 else f"{stem}{suffix}")
+        index += 1
+    return words
+
+
+@dataclass(frozen=True)
+class Document:
+    """One email: id, keyword set, and a rendered body."""
+
+    doc_id: int
+    keywords: Tuple[str, ...]
+    body: str
+
+
+@dataclass
+class Corpus:
+    """The generated corpus plus its ground-truth statistics."""
+
+    documents: List[Document]
+    keyword_doc_counts: Dict[str, int]
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.documents)
+
+    def top_keywords(self, k: int) -> List[str]:
+        """The ``k`` most frequent keywords (most documents first)."""
+        return sorted(
+            self.keyword_doc_counts,
+            key=lambda w: (-self.keyword_doc_counts[w], w),
+        )[:k]
+
+    def auxiliary_counts(self, k: int) -> Dict[str, int]:
+        """The attacker's auxiliary model: counts of the top-k keywords."""
+        return {w: self.keyword_doc_counts[w] for w in self.top_keywords(k)}
+
+
+def generate_corpus(
+    num_documents: int = 16_000,
+    vocabulary_size: int = 600,
+    zipf_s: float = 1.0,
+    max_doc_fraction: float = 0.35,
+    seed: int = 0,
+) -> Corpus:
+    """Generate a Zipf-profiled corpus.
+
+    Scaling note for experiment E7: with counts ``C/rank`` the top-k
+    unique-count fraction is ~``sqrt(C)/k``. Enron (~500k documents) puts
+    63% of the top **500** at unique counts; this default (16k documents,
+    ``C ~ 5,600``) reproduces the same regime for the top **100** — the
+    statistic scales with corpus size, the attack mechanics do not change.
+
+    Parameters
+    ----------
+    num_documents:
+        Corpus size.
+    vocabulary_size:
+        Distinct keywords; must cover the top-k window of interest.
+    zipf_s:
+        Zipf exponent of the document-frequency profile (1.0 ~ natural text).
+    max_doc_fraction:
+        Document frequency of the most common keyword.
+    seed:
+        RNG seed (the corpus is fully deterministic given the arguments).
+    """
+    if num_documents <= 0 or vocabulary_size <= 0:
+        raise WorkloadError("corpus dimensions must be positive")
+    if not 0 < max_doc_fraction <= 1:
+        raise WorkloadError("max_doc_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    vocabulary = _vocabulary(vocabulary_size)
+
+    doc_keywords: List[set] = [set() for _ in range(num_documents)]
+    keyword_counts: Dict[str, int] = {}
+    max_count = max(1, int(num_documents * max_doc_fraction))
+    for rank, word in enumerate(vocabulary, start=1):
+        # Zipf profile with multiplicative jitter so ties stay rare but do
+        # occur (they do in Enron too; the unique fraction is below 100%).
+        expected = max_count / (rank ** zipf_s)
+        jittered = expected * rng.uniform(0.85, 1.15)
+        count = max(1, min(num_documents, round(jittered)))
+        keyword_counts[word] = count
+        for doc_id in rng.sample(range(num_documents), count):
+            doc_keywords[doc_id].add(word)
+
+    documents = []
+    for doc_id, words in enumerate(doc_keywords):
+        ordered = tuple(sorted(words))
+        body = f"email {doc_id}: " + " ".join(ordered)
+        documents.append(Document(doc_id=doc_id, keywords=ordered, body=body))
+    # Recompute actual counts (sampling is exact, but keep the invariant
+    # explicit and independent of the generation path).
+    actual: Dict[str, int] = {}
+    for doc in documents:
+        for word in doc.keywords:
+            actual[word] = actual.get(word, 0) + 1
+    return Corpus(documents=documents, keyword_doc_counts=actual)

@@ -1,0 +1,59 @@
+"""Query-distribution generators.
+
+* :func:`uniform_range_queries` — the Lewi-Wu simulation's workload: range
+  endpoints uniform over the full domain (paper §6).
+* :func:`zipf_point_queries` — skewed equality queries for the frequency
+  analysis experiments (Seabed / SPLASHE, Arx): real query workloads are
+  heavily skewed, which is exactly what rank matching exploits.
+* :func:`zipf_frequencies` — the corresponding auxiliary model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+
+def uniform_range_queries(
+    num_queries: int,
+    domain_bits: int = 32,
+    seed: int = 0,
+) -> List[Tuple[int, int]]:
+    """``num_queries`` ranges with both endpoints uniform (lo <= hi)."""
+    if num_queries < 0:
+        raise WorkloadError("num_queries must be non-negative")
+    rng = random.Random(seed)
+    domain = 1 << domain_bits
+    queries = []
+    for _ in range(num_queries):
+        a, b = rng.randrange(domain), rng.randrange(domain)
+        queries.append((min(a, b), max(a, b)))
+    return queries
+
+
+def zipf_frequencies(values: Sequence[int], s: float = 1.0) -> Dict[int, float]:
+    """A Zipf probability model over ``values`` (most frequent first)."""
+    if not values:
+        raise WorkloadError("values must be non-empty")
+    weights = [1.0 / (rank ** s) for rank in range(1, len(values) + 1)]
+    total = sum(weights)
+    return {value: w / total for value, w in zip(values, weights)}
+
+
+def zipf_point_queries(
+    values: Sequence[int],
+    num_queries: int,
+    s: float = 1.0,
+    seed: int = 0,
+) -> List[int]:
+    """Draw ``num_queries`` equality-query targets Zipf-distributed over
+    ``values`` (the first value is the most popular)."""
+    if num_queries < 0:
+        raise WorkloadError("num_queries must be non-negative")
+    model = zipf_frequencies(values, s)
+    rng = random.Random(seed)
+    population = list(model)
+    weights = [model[v] for v in population]
+    return rng.choices(population, weights=weights, k=num_queries)

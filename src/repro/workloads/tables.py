@@ -1,0 +1,75 @@
+"""Relational demo data: the CUSTOMERS table of the paper's Section 4."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+
+STATES = (
+    "IN", "AZ", "CA", "NY", "TX", "WA", "FL", "OH", "IL", "GA",
+    "PA", "MI", "NC", "VA", "NJ", "MA",
+)
+
+_FIRST_NAMES = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "henry",
+    "iris", "jack", "kate", "liam", "mona", "nick", "olga", "pete",
+)
+
+
+@dataclass(frozen=True)
+class CustomerRow:
+    """One customer record."""
+
+    customer_id: int
+    name: str
+    state: str
+    age: int
+    balance: int
+
+
+def generate_customers(count: int = 500, seed: int = 0) -> List[CustomerRow]:
+    """Deterministically generate ``count`` customers."""
+    if count <= 0:
+        raise WorkloadError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    rows = []
+    for customer_id in range(1, count + 1):
+        rows.append(
+            CustomerRow(
+                customer_id=customer_id,
+                name=f"{rng.choice(_FIRST_NAMES)}_{customer_id}",
+                state=rng.choice(STATES),
+                age=rng.randint(18, 90),
+                balance=rng.randint(0, 100_000),
+            )
+        )
+    return rows
+
+
+CUSTOMERS_DDL = (
+    "CREATE TABLE customers ("
+    "id INT PRIMARY KEY, name TEXT, state TEXT, age INT, balance INT)"
+)
+
+
+def customer_insert_statements(
+    rows: Sequence[CustomerRow], batch_size: int = 50
+) -> List[str]:
+    """Render INSERT statements (batched like a bulk loader would)."""
+    if batch_size <= 0:
+        raise WorkloadError(f"batch size must be positive, got {batch_size}")
+    statements = []
+    for start in range(0, len(rows), batch_size):
+        batch = rows[start : start + batch_size]
+        values = ", ".join(
+            f"({r.customer_id}, '{r.name}', '{r.state}', {r.age}, {r.balance})"
+            for r in batch
+        )
+        statements.append(
+            "INSERT INTO customers (id, name, state, age, balance) "
+            f"VALUES {values}"
+        )
+    return statements

@@ -1,0 +1,123 @@
+"""Property tests for the attack algorithms' statistical claims."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import binomial_attack, frequency_analysis
+from repro.attacks.lewi_wu_leakage import (
+    bits_leaked_for_value,
+    bits_leaked_vectorized,
+)
+from repro.workloads import zipf_frequencies
+
+
+def _log_likelihood(observed_counts, model, assignment):
+    """Multinomial log-likelihood of observations under an assignment."""
+    total = sum(observed_counts.values())
+    ll = 0.0
+    for label, count in observed_counts.items():
+        p = model[assignment[label]]
+        ll += count * math.log(max(p, 1e-12))
+    return ll
+
+
+class TestFrequencyAnalysisMle:
+    """Lacharité-Paterson: rank matching is a maximum-likelihood estimator."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(4, 12))
+    def test_rank_matching_beats_random_assignments(self, seed, domain_size):
+        rng = random.Random(seed)
+        values = list(range(domain_size))
+        model = zipf_frequencies(values, s=1.0)
+        # Sample observations from the model under a random secret mapping.
+        labels = [f"ct{i}" for i in range(domain_size)]
+        secret = dict(zip(labels, rng.sample(values, domain_size)))
+        observed = {
+            label: sum(
+                1
+                for _ in range(300)
+                if rng.random() < model[secret[label]]
+            )
+            + 1
+            for label in labels
+        }
+        attack = frequency_analysis(observed, model)
+        ll_attack = _log_likelihood(observed, model, attack.assignment)
+        for _ in range(25):
+            perm = rng.sample(values, domain_size)
+            random_assignment = dict(zip(labels, perm))
+            assert ll_attack >= _log_likelihood(observed, model, random_assignment) - 1e-9
+
+
+class TestLeakageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**16 - 1),
+        st.lists(st.integers(0, 2**16 - 1), max_size=12),
+    )
+    def test_scalar_vectorized_agree(self, value, endpoints):
+        import numpy as np
+
+        scalar = bits_leaked_for_value(value, endpoints, bit_length=16)
+        if endpoints:
+            vector = bits_leaked_vectorized(
+                np.array([value]), np.array(endpoints), bit_length=16
+            )[0]
+        else:
+            vector = bits_leaked_vectorized(
+                np.array([value]), np.array([], dtype=int), bit_length=16
+            )[0]
+        assert scalar == int(vector)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 255),
+        st.lists(st.integers(0, 255), min_size=1, max_size=8),
+        st.integers(0, 255),
+    )
+    def test_leakage_monotone_in_endpoints(self, value, endpoints, extra):
+        base = bits_leaked_for_value(value, endpoints, bit_length=8)
+        more = bits_leaked_for_value(value, endpoints + [extra], bit_length=8)
+        assert more >= base
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 255), st.lists(st.integers(0, 255), max_size=8))
+    def test_leakage_bounded_by_domain(self, value, endpoints):
+        leaked = bits_leaked_for_value(value, endpoints, bit_length=8)
+        assert 0 <= leaked <= 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255))
+    def test_self_comparison_leaks_all(self, value):
+        assert bits_leaked_for_value(value, [value], bit_length=8) == 8
+
+
+class TestBinomialProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(16, 256))
+    def test_estimates_monotone_in_rank(self, seed, n):
+        rng = random.Random(seed)
+        truth = {i: rng.randrange(1 << 16) for i in range(n)}
+        order = sorted(truth, key=truth.get)
+        result = binomial_attack(order, bit_length=16)
+        estimates = [result.estimates[cid] for cid in order]
+        assert estimates == sorted(estimates)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_more_data_tightens_estimates(self, seed):
+        rng = random.Random(seed)
+
+        def mean_error(n):
+            truth = {i: rng.randrange(1 << 16) for i in range(n)}
+            order = sorted(truth, key=truth.get)
+            return binomial_attack(order, bit_length=16).mean_absolute_error(truth)
+
+        # Statistical, but with a 16x size gap the ordering is essentially
+        # certain; allow equality for degenerate draws.
+        assert mean_error(512) <= mean_error(32) * 1.5

@@ -1,0 +1,266 @@
+"""Tests for the inference attacks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    arx_frequency_attack,
+    binomial_attack,
+    bits_leaked_for_value,
+    count_attack,
+    frequency_analysis,
+    leakage_trial,
+    matching_attack,
+    reconstruct_transcript,
+    simulate_leakage,
+    unique_count_fraction,
+)
+from repro.attacks.count_attack import document_recovery
+from repro.errors import AttackError
+
+
+class TestCountAttack:
+    def test_unique_counts_recovered(self):
+        aux = {"alpha": 10, "beta": 7, "gamma": 7, "delta": 3}
+        observed = {"tok1": 10, "tok2": 3, "tok3": 7}
+        result = count_attack(observed, aux)
+        assert result.recovered == {"tok1": "alpha", "tok2": "delta"}
+        assert result.candidates["tok3"] == ("beta", "gamma")
+
+    def test_unique_count_fraction(self):
+        aux = {"a": 1, "b": 2, "c": 2, "d": 5}
+        assert unique_count_fraction(aux) == 0.5
+
+    def test_recovery_rate(self):
+        aux = {"alpha": 10, "beta": 3}
+        observed = {"tok1": 10, "tok2": 3}
+        result = count_attack(observed, aux)
+        truth = {"tok1": "alpha", "tok2": "beta"}
+        assert result.recovery_rate(truth) == 1.0
+
+    def test_unknown_count_yields_nothing(self):
+        result = count_attack({"tok": 999}, {"a": 1})
+        assert result.recovered == {}
+        assert result.candidates == {}
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AttackError):
+            count_attack({}, {"a": 1})
+        with pytest.raises(AttackError):
+            count_attack({"t": 1}, {})
+        with pytest.raises(AttackError):
+            unique_count_fraction({})
+
+    def test_document_recovery(self):
+        recovered = {"tok1": "alpha", "tok2": "beta"}
+        access = {"tok1": [1, 2], "tok2": [2]}
+        contents = document_recovery(recovered, access)
+        assert contents == {1: ["alpha"], 2: ["alpha", "beta"]}
+
+
+class TestFrequencyAnalysis:
+    def test_perfect_rank_match(self):
+        observed = {"ct_a": 100, "ct_b": 50, "ct_c": 10}
+        model = {"plain_a": 0.6, "plain_b": 0.3, "plain_c": 0.1}
+        result = frequency_analysis(observed, model)
+        assert result.assignment == {
+            "ct_a": "plain_a",
+            "ct_b": "plain_b",
+            "ct_c": "plain_c",
+        }
+
+    def test_accuracy_metrics(self):
+        observed = {"x": 10, "y": 5}
+        model = {"p": 0.7, "q": 0.3}
+        result = frequency_analysis(observed, model)
+        truth = {"x": "p", "y": "q"}
+        assert result.accuracy(truth) == 1.0
+        assert result.weighted_accuracy(truth, observed) == 1.0
+
+    def test_partial_accuracy(self):
+        observed = {"x": 10, "y": 9}
+        model = {"p": 0.5, "q": 0.5}
+        result = frequency_analysis(observed, model)
+        # Whatever the tie-break, at most one of two can be wrong vs a
+        # swapped truth.
+        truth = {"x": result.assignment["y"], "y": result.assignment["x"]}
+        assert result.accuracy(truth) == 0.0
+
+    def test_more_plaintexts_than_ciphertexts(self):
+        observed = {"only": 5}
+        model = {"a": 0.5, "b": 0.3, "c": 0.2}
+        result = frequency_analysis(observed, model)
+        assert result.assignment == {"only": "a"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(AttackError):
+            frequency_analysis({}, {"a": 1.0})
+
+
+class TestLewiWuLeakage:
+    def test_equality_leaks_everything(self):
+        assert bits_leaked_for_value(7, [7], bit_length=8) == 8
+
+    def test_single_comparison_prefix(self):
+        # 0b10000000 vs 0b00000000 differ at bit 0: leaks exactly 1 bit.
+        assert bits_leaked_for_value(0b10000000, [0], bit_length=8) == 1
+        # Sharing 7 top bits leaks all 8 (7 prefix + the differing bit).
+        assert bits_leaked_for_value(0b00000001, [0], bit_length=8) == 8
+
+    def test_max_over_endpoints(self):
+        value = 0b11110000
+        shallow = 0b00000000  # diff at bit 0 -> 1 bit
+        deep = 0b11110001     # diff at bit 7 -> 8 bits
+        assert bits_leaked_for_value(value, [shallow], bit_length=8) == 1
+        assert bits_leaked_for_value(value, [shallow, deep], bit_length=8) == 8
+
+    def test_no_endpoints_no_leakage(self):
+        assert bits_leaked_for_value(5, [], bit_length=8) == 0
+
+    def test_trial_fraction_bounds(self):
+        rng = random.Random(0)
+        fraction = leakage_trial(rng, num_values=100, num_queries=5)
+        assert 0.0 < fraction < 1.0
+
+    def test_monotone_in_queries(self):
+        s5 = simulate_leakage(num_values=300, num_queries=5, trials=10, seed=3)
+        s50 = simulate_leakage(num_values=300, num_queries=50, trials=10, seed=3)
+        assert s50.mean_fraction_leaked > s5.mean_fraction_leaked
+
+    def test_paper_anchor_50_queries(self):
+        # The paper's 50-query point: 25% of bits (8 bits per 32-bit value).
+        s = simulate_leakage(num_values=500, num_queries=50, trials=20, seed=0)
+        assert 0.22 <= s.mean_fraction_leaked <= 0.28
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(AttackError):
+            leakage_trial(random.Random(0), num_values=0, num_queries=1)
+
+
+class TestBinomialAttack:
+    def test_uniform_recovery_msbs(self):
+        rng = random.Random(1)
+        n = 1024
+        truth = {i: rng.randrange(1 << 32) for i in range(n)}
+        order = sorted(truth, key=truth.get)
+        result = binomial_attack(order, bit_length=32)
+        msbs = result.mean_correct_msbs(truth)
+        # Rank pins ~log2(n) = 10 high bits, minus binomial noise.
+        assert msbs > 5
+
+    def test_estimates_in_domain(self):
+        result = binomial_attack([0, 1, 2], bit_length=8)
+        assert all(0 <= v < 256 for v in result.estimates.values())
+
+    def test_custom_quantile_fn(self):
+        result = binomial_attack([0, 1], bit_length=8, quantile_fn=lambda q: 100)
+        assert set(result.estimates.values()) == {100}
+
+    def test_mae_metric(self):
+        truth = {0: 10, 1: 200}
+        result = binomial_attack([0, 1], bit_length=8)
+        assert result.mean_absolute_error(truth) >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AttackError):
+            binomial_attack([])
+
+
+class TestMatchingAttack:
+    def test_frequency_only_matching(self):
+        cipher_freqs = {"c1": 90, "c2": 9, "c3": 1}
+        plain_freqs = {"p1": 0.9, "p2": 0.09, "p3": 0.01}
+        result = matching_attack(cipher_freqs, plain_freqs)
+        assert result.assignment == {"c1": "p1", "c2": "p2", "c3": "p3"}
+
+    def test_hard_constraints_respected(self):
+        cipher_freqs = {"c1": 50, "c2": 50}
+        plain_freqs = {"p1": 0.5, "p2": 0.5}
+        # Constraint: c1 may only be p2, c2 only p1.
+        compatible = lambda c, p: (c, p) in {("c1", "p2"), ("c2", "p1")}
+        result = matching_attack(cipher_freqs, plain_freqs, compatible)
+        assert result.assignment == {"c1": "p2", "c2": "p1"}
+
+    def test_insufficient_plaintexts_rejected(self):
+        with pytest.raises(AttackError):
+            matching_attack({"c1": 1, "c2": 1}, {"p1": 1.0})
+
+    def test_fully_incompatible_label_unassigned(self):
+        result = matching_attack(
+            {"c1": 5}, {"p1": 1.0}, compatible=lambda c, p: False
+        )
+        assert "c1" not in result.assignment
+
+    def test_accuracy(self):
+        result = matching_attack({"c": 1}, {"p": 1.0})
+        assert result.accuracy({"c": "p"}) == 1.0
+        assert result.accuracy({"c": "other"}) == 0.0
+
+
+class TestArxTranscript:
+    def make_events(self, batches, table="arx_index", with_insert=()):
+        """``batches``: list of key lists, one per transaction."""
+        from repro.forensics.redo_undo import ModificationEvent
+
+        events = []
+        lsn = 0
+        for txn_id, keys in enumerate(batches, start=1):
+            if txn_id in with_insert:
+                events.append(
+                    ModificationEvent(
+                        lsn=lsn, txn_id=txn_id, table=table, op="insert",
+                        key=999, before=None, after=None,
+                    )
+                )
+                lsn += 1
+            for key in keys:
+                events.append(
+                    ModificationEvent(
+                        lsn=lsn, txn_id=txn_id, table=table, op="update",
+                        key=key, before=None, after=None,
+                    )
+                )
+                lsn += 1
+        return events
+
+    def test_group_by_transaction(self):
+        batches = [[1, 3, 4], [1, 2], [1, 3, 5, 6]]
+        queries, root = reconstruct_transcript(self.make_events(batches))
+        assert [q.node_ids for q in queries] == [(1, 3, 4), (1, 2), (1, 3, 5, 6)]
+        assert root == 1  # present in every batch
+
+    def test_insert_batches_excluded(self):
+        batches = [[1, 3], [1, 7], [1, 2]]
+        events = self.make_events(batches, with_insert={2})
+        queries, _ = reconstruct_transcript(events)
+        assert [q.node_ids for q in queries] == [(1, 3), (1, 2)]
+
+    def test_other_tables_ignored(self):
+        events = self.make_events([[1, 2]], table="unrelated")
+        queries, root = reconstruct_transcript(events)  # default table
+        assert queries == [] and root is None
+
+    def test_empty_stream(self):
+        queries, root = reconstruct_transcript([])
+        assert queries == [] and root is None
+
+    def test_frequency_attack_recovers_hot_nodes(self):
+        # Node 10 visited in 9 queries, node 20 in 5, node 30 in 2.
+        batches = (
+            [[10, 20, 30]] * 2 + [[10, 20]] * 3 + [[10]] * 4
+        )
+        events = self.make_events(batches)
+        model = {100: 0.6, 200: 0.3, 300: 0.1}
+        result = arx_frequency_attack(events, model)
+        assert result.assignment[10] == 100
+        assert result.assignment[20] == 200
+        assert result.assignment[30] == 300
+        assert result.visit_counts[10] == 9
+        assert result.inferred_root == 10
+
+    def test_no_updates_rejected(self):
+        with pytest.raises(AttackError):
+            arx_frequency_attack([], {1: 1.0})

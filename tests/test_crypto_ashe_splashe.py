@@ -1,0 +1,152 @@
+"""Unit tests for ASHE and SPLASHE / enhanced SPLASHE."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ashe import AsheCipher
+from repro.crypto.splashe import EnhancedSplasheEncoder, SplasheEncoder
+from repro.errors import CryptoError
+
+KEY = b"a" * 32
+
+
+class TestAshe:
+    def test_single_roundtrip(self):
+        ashe = AsheCipher(KEY)
+        ct = ashe.encrypt(42, row_id=1)
+        assert ashe.decrypt(ct) == 42
+
+    def test_aggregate_telescopes(self):
+        ashe = AsheCipher(KEY)
+        values = [5, 10, 15, 20]
+        column = ashe.encrypt_column(values)
+        total = ashe.aggregate(column)
+        assert ashe.decrypt(total) == sum(values)
+
+    def test_partial_range_aggregate(self):
+        ashe = AsheCipher(KEY)
+        column = ashe.encrypt_column([1, 2, 3, 4, 5])
+        total = ashe.aggregate(column[1:4])  # rows 2..4
+        assert ashe.decrypt(total) == 2 + 3 + 4
+
+    def test_negative_values(self):
+        ashe = AsheCipher(KEY)
+        column = ashe.encrypt_column([-7, 3])
+        assert ashe.decrypt(ashe.aggregate(column)) == -4
+
+    def test_non_adjacent_rejected(self):
+        ashe = AsheCipher(KEY)
+        a = ashe.encrypt(1, row_id=1)
+        c = ashe.encrypt(3, row_id=3)
+        with pytest.raises(CryptoError):
+            ashe.add(a, c)
+
+    def test_row_id_zero_rejected(self):
+        with pytest.raises(CryptoError):
+            AsheCipher(KEY).encrypt(1, row_id=0)
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(CryptoError):
+            AsheCipher(KEY).aggregate([])
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            AsheCipher(KEY, modulus=1)
+
+    def test_ciphertexts_look_unrelated(self):
+        # Encryptions of identical values at different rows differ (masks).
+        ashe = AsheCipher(KEY)
+        cts = ashe.encrypt_column([9, 9, 9])
+        assert len({ct.value for ct in cts}) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    def test_column_sum_property(self, values):
+        ashe = AsheCipher(KEY)
+        column = ashe.encrypt_column(values)
+        assert ashe.decrypt(ashe.aggregate(column)) == sum(values)
+
+
+class TestSplashe:
+    DOMAIN = [10, 20, 30]
+
+    def test_count_query(self):
+        enc = SplasheEncoder(KEY, self.DOMAIN)
+        column_set = enc.encode_column([10, 20, 10, 30, 10])
+        assert enc.count(column_set, 10) == 3
+        assert enc.count(column_set, 20) == 1
+        assert enc.count(column_set, 30) == 1
+
+    def test_rewrite_names_distinct_columns(self):
+        # The SPLASHE weakness: distinct plaintexts -> distinct column names
+        # in the rewritten SQL -> distinct performance-schema digests.
+        enc = SplasheEncoder(KEY, self.DOMAIN)
+        q10 = enc.rewrite_count_query("t", "a", 10)
+        q20 = enc.rewrite_count_query("t", "a", 20)
+        assert q10 != q20
+        assert "ashe_sum" in q10
+
+    def test_unknown_value_rejected(self):
+        enc = SplasheEncoder(KEY, self.DOMAIN)
+        with pytest.raises(CryptoError):
+            enc.column_for(99)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(CryptoError):
+            SplasheEncoder(KEY, [])
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(CryptoError):
+            SplasheEncoder(KEY, [1, 1])
+
+    def test_all_columns_same_length(self):
+        enc = SplasheEncoder(KEY, self.DOMAIN)
+        column_set = enc.encode_column([10, 20, 30, 10])
+        lengths = {len(col) for col in column_set.columns.values()}
+        assert lengths == {4}
+
+    def test_empty_column(self):
+        enc = SplasheEncoder(KEY, self.DOMAIN)
+        column_set = enc.encode_column([])
+        assert enc.count(column_set, 10) == 0
+
+
+class TestEnhancedSplashe:
+    def test_frequent_values_splayed(self):
+        enc = EnhancedSplasheEncoder(KEY, frequent_values=[1, 2], pad_to=2)
+        column_set = enc.encode_column([1, 1, 2, 3, 4])
+        assert enc.count(column_set, 1) == 2
+        assert enc.count(column_set, 2) == 1
+
+    def test_infrequent_values_padded(self):
+        enc = EnhancedSplasheEncoder(KEY, frequent_values=[1], pad_to=3)
+        column_set = enc.encode_column([1, 5, 6])
+        # 5 and 6 each appear once and get padded up to 3.
+        assert enc.count(column_set, 5) == 3
+        assert enc.count(column_set, 6) == 3
+        assert column_set.padding_rows == 4
+
+    def test_det_column_reveals_equality(self):
+        # Enhanced SPLASHE's DET column leaks equality of infrequent values -
+        # the per-row recovery the paper warns about.
+        enc = EnhancedSplasheEncoder(KEY, frequent_values=[1], pad_to=0)
+        column_set = enc.encode_column([1, 5, 5, 6])
+        det = [ct for ct in column_set.det_column if ct is not None]
+        assert det[0] == det[1]  # the two 5s
+        assert det[0] != det[2]
+
+    def test_rewrite_frequent_vs_infrequent(self):
+        enc = EnhancedSplasheEncoder(KEY, frequent_values=[1], pad_to=0)
+        assert "ashe_sum" in enc.rewrite_count_query("t", "a", 1)
+        assert "det_col" in enc.rewrite_count_query("t", "a", 7)
+
+    def test_duplicate_frequent_rejected(self):
+        with pytest.raises(CryptoError):
+            EnhancedSplasheEncoder(KEY, frequent_values=[1, 1])
+
+    def test_no_det_column_error(self):
+        enc = EnhancedSplasheEncoder(KEY, frequent_values=[1], pad_to=0)
+        basic = SplasheEncoder(KEY, [1]).encode_column([1])
+        with pytest.raises(CryptoError):
+            enc.count(basic, 9)

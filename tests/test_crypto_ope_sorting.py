@@ -1,0 +1,131 @@
+"""Tests for the OPE scheme and the Naveed-style sorting attack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.sorting import sorting_attack
+from repro.crypto.ope import OpeCipher
+from repro.errors import AttackError, CryptoError
+from repro.workloads import zipf_frequencies
+
+KEY = b"ope-test-key-0123456789abcdef!!!"
+
+
+class TestOpeCipher:
+    def test_roundtrip(self):
+        ope = OpeCipher(KEY, plaintext_bits=10)
+        for value in (0, 1, 500, 1023):
+            assert ope.decrypt(ope.encrypt(value)) == value
+
+    def test_order_preserved(self):
+        ope = OpeCipher(KEY, plaintext_bits=10)
+        values = sorted(random.Random(0).sample(range(1024), 100))
+        ciphertexts = [ope.encrypt(v) for v in values]
+        assert ciphertexts == sorted(ciphertexts)
+        assert len(set(ciphertexts)) == len(values)
+
+    def test_deterministic_per_key(self):
+        a = OpeCipher(KEY, plaintext_bits=8)
+        b = OpeCipher(KEY, plaintext_bits=8)
+        assert [a.encrypt(v) for v in range(10)] == [b.encrypt(v) for v in range(10)]
+
+    def test_different_keys_differ(self):
+        a = OpeCipher(KEY, plaintext_bits=8)
+        b = OpeCipher(b"another-key-0123456789abcdef!!!!", plaintext_bits=8)
+        outputs_a = [a.encrypt(v) for v in range(32)]
+        outputs_b = [b.encrypt(v) for v in range(32)]
+        assert outputs_a != outputs_b
+
+    def test_domain_bounds(self):
+        ope = OpeCipher(KEY, plaintext_bits=8)
+        with pytest.raises(CryptoError):
+            ope.encrypt(256)
+        with pytest.raises(CryptoError):
+            ope.encrypt(-1)
+
+    def test_bad_params(self):
+        with pytest.raises(CryptoError):
+            OpeCipher(KEY, plaintext_bits=0)
+        with pytest.raises(CryptoError):
+            OpeCipher(KEY, plaintext_bits=40, expansion_bits=20)
+
+    def test_decrypt_non_image_rejected(self):
+        ope = OpeCipher(KEY, plaintext_bits=4, expansion_bits=8)
+        images = {ope.encrypt(v) for v in range(16)}
+        non_image = next(c for c in range(ope.ciphertext_domain) if c not in images)
+        with pytest.raises(CryptoError):
+            ope.decrypt(non_image)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    def test_order_property(self, x, y):
+        ope = OpeCipher(KEY, plaintext_bits=12)
+        cx, cy = ope.encrypt(x), ope.encrypt(y)
+        assert (x < y) == (cx < cy)
+        assert (x == y) == (cx == cy)
+
+
+class TestSortingAttack:
+    def test_dense_column_total_recovery(self):
+        """The headline Naveed result: dense columns fall to sorting alone."""
+        ope = OpeCipher(KEY, plaintext_bits=8)
+        domain = list(range(18, 66))
+        rng = random.Random(1)
+        plaintexts = domain * 3  # every value present
+        rng.shuffle(plaintexts)
+        ciphertexts = [ope.encrypt(v) for v in plaintexts]
+        truth = {ope.encrypt(v): v for v in domain}
+        result = sorting_attack(ciphertexts, domain)
+        assert result.dense
+        assert result.accuracy(truth) == 1.0
+
+    def test_sparse_column_cumulative_recovery(self):
+        ope = OpeCipher(KEY, plaintext_bits=8)
+        domain = list(range(100))
+        model = zipf_frequencies(domain, s=1.0)
+        rng = random.Random(2)
+        # Few enough draws that the Zipf tail stays absent (sparse column).
+        plaintexts = rng.choices(list(model), weights=list(model.values()), k=300)
+        ciphertexts = [ope.encrypt(v) for v in plaintexts]
+        assert len(set(ciphertexts)) < len(domain)
+        truth = {ope.encrypt(v): v for v in set(plaintexts)}
+        result = sorting_attack(ciphertexts, domain, auxiliary=model)
+        assert not result.dense
+        # Row-weighted recovery far above random (1/|domain| = 1%): the
+        # frequent values align exactly, sampling noise drifts the tail.
+        rate = result.row_recovery_rate(ciphertexts, truth)
+        assert rate >= 0.5
+
+    def test_uniform_auxiliary_default(self):
+        result = sorting_attack([10, 20, 30], domain=[1, 2, 3, 4, 5, 6])
+        assert set(result.assignment) == {10, 20, 30}
+
+    def test_too_many_distinct_rejected(self):
+        with pytest.raises(AttackError):
+            sorting_attack([1, 2, 3], domain=[1, 2])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AttackError):
+            sorting_attack([], domain=[1])
+        with pytest.raises(AttackError):
+            sorting_attack([1], domain=[])
+
+    def test_zero_mass_model_rejected(self):
+        with pytest.raises(AttackError):
+            sorting_attack([5], domain=[1, 2], auxiliary={3: 1.0})
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dense_recovery_property(self, seed):
+        rng = random.Random(seed)
+        ope = OpeCipher(KEY, plaintext_bits=8)
+        domain = sorted(rng.sample(range(256), 20))
+        plaintexts = domain * 2
+        rng.shuffle(plaintexts)
+        ciphertexts = [ope.encrypt(v) for v in plaintexts]
+        truth = {ope.encrypt(v): v for v in domain}
+        result = sorting_attack(ciphertexts, domain)
+        assert result.accuracy(truth) == 1.0

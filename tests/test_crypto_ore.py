@@ -1,0 +1,121 @@
+"""Unit and property tests for the Lewi-Wu ORE implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ore_lewi_wu import LewiWuOre, reference_compare
+from repro.errors import CryptoError
+
+KEY = b"o" * 32
+
+
+def make_ore(bit_length=8, block_bits=1):
+    return LewiWuOre(KEY, bit_length=bit_length, block_bits=block_bits)
+
+
+class TestConstruction:
+    def test_block_bits_must_divide(self):
+        with pytest.raises(CryptoError):
+            LewiWuOre(KEY, bit_length=32, block_bits=5)
+
+    def test_bad_bit_length(self):
+        with pytest.raises(CryptoError):
+            LewiWuOre(KEY, bit_length=0)
+
+    def test_domain_bounds_enforced(self):
+        ore = make_ore(bit_length=8)
+        with pytest.raises(CryptoError):
+            ore.encrypt_left(256)
+        with pytest.raises(CryptoError):
+            ore.encrypt_right(-1)
+
+    def test_blocks_of_msb_first(self):
+        ore = make_ore(bit_length=8, block_bits=2)
+        assert ore.blocks_of(0b11100100) == [3, 2, 1, 0]
+
+    def test_right_ciphertext_size_grows_with_block_bits(self):
+        small = LewiWuOre(KEY, bit_length=8, block_bits=1)
+        big = LewiWuOre(KEY, bit_length=8, block_bits=4)
+        assert big.right_ciphertext_size() > small.right_ciphertext_size()
+
+
+class TestCompare:
+    @pytest.mark.parametrize("x,y", [(0, 0), (0, 1), (1, 0), (5, 9), (255, 254), (128, 127)])
+    def test_order_correct(self, x, y):
+        ore = make_ore(bit_length=8)
+        result = ore.compare(ore.encrypt_left(x), ore.encrypt_right(y))
+        expected = 0 if x == y else (-1 if x < y else 1)
+        assert result.order == expected
+
+    def test_equal_values_no_diff_block(self):
+        ore = make_ore(bit_length=8)
+        result = ore.compare(ore.encrypt_left(42), ore.encrypt_right(42))
+        assert result.order == 0
+        assert result.first_diff_block is None
+
+    def test_first_diff_block_is_prefix_length(self):
+        ore = make_ore(bit_length=8, block_bits=1)
+        # 0b10110000 vs 0b10111111 share the first 4 bits; differ at index 4.
+        result = ore.compare(
+            ore.encrypt_left(0b10110000), ore.encrypt_right(0b10111111)
+        )
+        assert result.first_diff_block == 4
+
+    def test_block_count_mismatch_rejected(self):
+        a = make_ore(bit_length=8)
+        b = make_ore(bit_length=16)
+        with pytest.raises(CryptoError):
+            a.compare(a.encrypt_left(1), b.encrypt_right(1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_matches_reference_8bit(self, x, y):
+        ore = make_ore(bit_length=8, block_bits=1)
+        got = ore.compare(ore.encrypt_left(x), ore.encrypt_right(y))
+        want = reference_compare(x, y, bit_length=8, block_bits=1)
+        assert (got.order, got.first_diff_block) == (want.order, want.first_diff_block)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_matches_reference_16bit_blocks4(self, x, y):
+        ore = make_ore(bit_length=16, block_bits=4)
+        got = ore.compare(ore.encrypt_left(x), ore.encrypt_right(y))
+        want = reference_compare(x, y, bit_length=16, block_bits=4)
+        assert (got.order, got.first_diff_block) == (want.order, want.first_diff_block)
+
+    def test_right_ciphertexts_randomized(self):
+        # Right encryption uses fresh nonces: same plaintext, different cts.
+        ore = make_ore(bit_length=8)
+        a = ore.encrypt_right(7)
+        b = ore.encrypt_right(7)
+        assert a.nonce != b.nonce
+        assert a.tables != b.tables
+
+    def test_left_ciphertexts_deterministic(self):
+        ore = make_ore(bit_length=8)
+        assert ore.encrypt_left(7) == ore.encrypt_left(7)
+
+
+class TestReferenceCompare:
+    def test_equal(self):
+        r = reference_compare(10, 10)
+        assert r.order == 0 and r.first_diff_block is None
+
+    def test_msb_difference(self):
+        r = reference_compare(0, 2**31, bit_length=32)
+        assert r.order == -1 and r.first_diff_block == 0
+
+    def test_lsb_difference(self):
+        r = reference_compare(2, 3, bit_length=32)
+        assert r.order == -1 and r.first_diff_block == 31
+
+    def test_block_bits_coarsens_leakage(self):
+        fine = reference_compare(0b0001, 0b0000, bit_length=4, block_bits=1)
+        coarse = reference_compare(0b0001, 0b0000, bit_length=4, block_bits=4)
+        assert fine.first_diff_block == 3
+        assert coarse.first_diff_block == 0
+
+    def test_invalid_block_bits(self):
+        with pytest.raises(CryptoError):
+            reference_compare(1, 2, bit_length=8, block_bits=3)

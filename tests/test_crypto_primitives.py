@@ -1,0 +1,135 @@
+"""Unit tests for the PRF / KDF / stream-cipher primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.primitives import (
+    Prf,
+    StreamCipher,
+    constant_time_equal,
+    derive_key,
+    hkdf,
+    keystream_permutation,
+    mac,
+    prf_int,
+)
+from repro.errors import CryptoError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestMac:
+    def test_deterministic(self):
+        assert mac(KEY, "a", 1) == mac(KEY, "a", 1)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        assert mac(KEY, "a", 1) != mac(KEY, "a", 2)
+
+    def test_type_tagging_prevents_confusion(self):
+        # str "1" and int 1 and bytes b"1" must not collide.
+        outputs = {mac(KEY, "1"), mac(KEY, 1), mac(KEY, b"1")}
+        assert len(outputs) == 3
+
+    def test_length_prefix_prevents_concat_ambiguity(self):
+        assert mac(KEY, "ab", "c") != mac(KEY, "a", "bc")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            mac(b"", "x")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(CryptoError):
+            mac(KEY, -1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CryptoError):
+            mac(KEY, 3.14)
+
+
+class TestPrf:
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError):
+            Prf(b"short")
+
+    def test_eval_int_range(self):
+        prf = Prf(KEY)
+        for i in range(100):
+            assert 0 <= prf.eval_int(7, "x", i) < 7
+
+    def test_eval_int_bad_modulus(self):
+        with pytest.raises(CryptoError):
+            Prf(KEY).eval_int(0, "x")
+
+    def test_prf_int_helper_matches(self):
+        assert prf_int(KEY, 100, "y") == Prf(KEY).eval_int(100, "y")
+
+
+class TestKdf:
+    def test_derive_key_label_separation(self):
+        assert derive_key(KEY, "a") != derive_key(KEY, "b")
+        assert derive_key(KEY, "a", 0) != derive_key(KEY, "a", 1)
+
+    def test_hkdf_lengths(self):
+        for length in (1, 31, 32, 33, 100):
+            assert len(hkdf(KEY, "label", length)) == length
+
+    def test_hkdf_prefix_consistency(self):
+        assert hkdf(KEY, "l", 64)[:32] == hkdf(KEY, "l", 32)
+
+    def test_hkdf_zero_length_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf(KEY, "l", 0)
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        cipher = StreamCipher(KEY)
+        ct = cipher.encrypt(b"nonce0", b"attack at dawn")
+        assert cipher.decrypt(b"nonce0", ct) == b"attack at dawn"
+
+    def test_different_nonces_differ(self):
+        cipher = StreamCipher(KEY)
+        pt = b"x" * 40
+        assert cipher.encrypt(b"n1", pt) != cipher.encrypt(b"n2", pt)
+
+    def test_empty_plaintext(self):
+        cipher = StreamCipher(KEY)
+        assert cipher.encrypt(b"n", b"") == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CryptoError):
+            StreamCipher(KEY).keystream(b"n", -1)
+
+    @given(st.binary(max_size=300), st.binary(min_size=1, max_size=16))
+    def test_roundtrip_property(self, plaintext, nonce):
+        cipher = StreamCipher(KEY)
+        assert cipher.decrypt(nonce, cipher.encrypt(nonce, plaintext)) == plaintext
+
+
+class TestPermutation:
+    def test_is_permutation(self):
+        perm = keystream_permutation(KEY, "l", 16)
+        assert sorted(perm) == list(range(16))
+
+    def test_deterministic(self):
+        assert keystream_permutation(KEY, "l", 8) == keystream_permutation(KEY, "l", 8)
+
+    def test_label_separation(self):
+        # With n=64 two independent permutations virtually never coincide.
+        assert keystream_permutation(KEY, "a", 64) != keystream_permutation(KEY, "b", 64)
+
+    def test_size_one(self):
+        assert keystream_permutation(KEY, "l", 1) == [0]
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(CryptoError):
+            keystream_permutation(KEY, "l", 0)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"abc", b"abd")

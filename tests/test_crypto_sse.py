@@ -1,0 +1,83 @@
+"""Unit tests for the searchable-encryption scheme."""
+
+import pytest
+
+from repro.crypto.sse import SseClient, SseIndex
+from repro.errors import CryptoError
+
+KEY = b"s" * 32
+
+
+def build_index():
+    client = SseClient(KEY)
+    index = SseIndex()
+    docs = {
+        1: ("alice bob contract", ["alice", "bob", "contract"]),
+        2: ("bob budget", ["bob", "budget"]),
+        3: ("alice lunch", ["alice", "lunch"]),
+        4: ("quarterly budget contract", ["quarterly", "budget", "contract"]),
+    }
+    for doc_id, (body, words) in docs.items():
+        client.encrypt_document(index, doc_id, words, body)
+    return client, index
+
+
+class TestSse:
+    def test_search_returns_matching_docs(self):
+        client, index = build_index()
+        assert client.search(index, "alice") == [1, 3]
+        assert client.search(index, "budget") == [2, 4]
+        assert client.search(index, "nosuchword") == []
+
+    def test_token_is_all_the_server_needs(self):
+        # The semantic-security break: a snapshot attacker holding just the
+        # token can run the same search the server runs.
+        client, index = build_index()
+        token = client.token("contract")
+        assert index.search(token) == [1, 4]
+
+    def test_tokens_case_insensitive(self):
+        client, _ = build_index()
+        assert client.token("Alice") == client.token("alice")
+
+    def test_token_deterministic_per_keyword(self):
+        client, _ = build_index()
+        assert client.token("bob") == client.token("bob")
+        assert client.token("bob") != client.token("alice")
+
+    def test_result_count(self):
+        client, index = build_index()
+        assert index.result_count(client.token("bob")) == 2
+
+    def test_decrypt_document(self):
+        client, index = build_index()
+        assert client.decrypt_document(index, 2) == "bob budget"
+
+    def test_bodies_are_rnd_encrypted(self):
+        client = SseClient(KEY)
+        index = SseIndex()
+        client.encrypt_document(index, 1, ["x"], "same body")
+        client.encrypt_document(index, 2, ["x"], "same body")
+        assert index.ciphertext(1) != index.ciphertext(2)
+
+    def test_tags_unlinkable_across_documents(self):
+        # Without the token, the same keyword in two documents produces
+        # different tags (tags are PRF(token, doc_id)).
+        client = SseClient(KEY)
+        token = client.token("alice")
+        assert token.tag_for(1) != token.tag_for(2)
+
+    def test_duplicate_doc_id_rejected(self):
+        client, index = build_index()
+        with pytest.raises(CryptoError):
+            client.encrypt_document(index, 1, ["x"], "dup")
+
+    def test_empty_keyword_rejected(self):
+        client, _ = build_index()
+        with pytest.raises(CryptoError):
+            client.token("")
+
+    def test_different_keys_cannot_cross_search(self):
+        _, index = build_index()
+        other = SseClient(b"t" * 32)
+        assert index.search(other.token("alice")) == []

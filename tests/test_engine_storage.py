@@ -1,0 +1,180 @@
+"""Integration tests for the storage engine: transactions, logs, rollback."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.engine import StorageEngine
+from repro.errors import EngineError, TransactionError
+from repro.storage import decode_row, encode_row
+
+
+def make_engine(**kwargs):
+    engine = StorageEngine(clock=SimClock(), binlog_enabled=True, **kwargs)
+    engine.register_table("t")
+    return engine
+
+
+def row_bytes(*values):
+    return encode_row(tuple(values))
+
+
+class TestTables:
+    def test_register_and_lookup(self):
+        engine = make_engine()
+        assert engine.has_table("t")
+        assert engine.table_names == ["t"]
+
+    def test_duplicate_register_rejected(self):
+        engine = make_engine()
+        with pytest.raises(EngineError):
+            engine.register_table("t")
+
+    def test_unknown_table_rejected(self):
+        engine = make_engine()
+        with pytest.raises(EngineError):
+            engine.get("nope", 1)
+
+
+class TestWritePath:
+    def test_insert_visible(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1, "a"))
+        engine.commit(txn)
+        payload, _ = engine.get("t", 1)
+        assert decode_row(payload)[0] == (1, "a")
+
+    def test_insert_writes_both_logs(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1, "a"))
+        assert engine.redo_log.num_records == 1
+        assert engine.undo_log.num_records == 1
+        redo = engine.redo_log.records()[0]
+        undo = engine.undo_log.records()[0]
+        assert redo.after_image == row_bytes(1, "a")
+        assert undo.before_image == b""
+
+    def test_update_logs_before_and_after(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1, "old"))
+        engine.update(txn, "t", 1, row_bytes(1, "new"))
+        redo = engine.redo_log.records()[-1]
+        undo = engine.undo_log.records()[-1]
+        assert redo.after_image == row_bytes(1, "new")
+        assert undo.before_image == row_bytes(1, "old")
+
+    def test_delete_logs_before_image(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1, "x"))
+        engine.delete(txn, "t", 1)
+        undo = engine.undo_log.records()[-1]
+        assert undo.op == "delete"
+        assert undo.before_image == row_bytes(1, "x")
+        assert engine.get("t", 1)[0] is None
+
+    def test_commit_writes_binlog(self):
+        engine = make_engine()
+        txn = engine.begin()
+        txn.record_statement("INSERT INTO t (a) VALUES (1)")
+        engine.insert(txn, "t", 1, row_bytes(1))
+        engine.commit(txn)
+        assert engine.binlog.num_events == 1
+        assert engine.binlog.events[0].statement.startswith("INSERT")
+
+    def test_read_only_txn_skips_binlog(self):
+        engine = make_engine()
+        txn = engine.begin()
+        txn.record_statement("SELECT 1")
+        engine.commit(txn)
+        assert engine.binlog.num_events == 0
+
+    def test_binlog_timestamp_from_clock(self):
+        clock = SimClock(start=5000)
+        engine = StorageEngine(clock=clock, binlog_enabled=True)
+        engine.register_table("t")
+        txn = engine.begin()
+        txn.record_statement("INSERT ...")
+        engine.insert(txn, "t", 1, row_bytes(1))
+        clock.advance(123)
+        engine.commit(txn)
+        assert engine.binlog.events[0].timestamp == 5123
+
+
+class TestRollback:
+    def test_rollback_insert(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1))
+        engine.rollback(txn)
+        assert engine.get("t", 1)[0] is None
+
+    def test_rollback_update_restores(self):
+        engine = make_engine()
+        setup = engine.begin()
+        engine.insert(setup, "t", 1, row_bytes(1, "original"))
+        engine.commit(setup)
+        txn = engine.begin()
+        engine.update(txn, "t", 1, row_bytes(1, "changed"))
+        engine.rollback(txn)
+        payload, _ = engine.get("t", 1)
+        assert decode_row(payload)[0] == (1, "original")
+
+    def test_rollback_delete_restores(self):
+        engine = make_engine()
+        setup = engine.begin()
+        engine.insert(setup, "t", 1, row_bytes(1, "keep"))
+        engine.commit(setup)
+        txn = engine.begin()
+        engine.delete(txn, "t", 1)
+        engine.rollback(txn)
+        assert engine.get("t", 1)[0] is not None
+
+    def test_rollback_multi_change_reverse_order(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1, "a"))
+        engine.update(txn, "t", 1, row_bytes(1, "b"))
+        engine.delete(txn, "t", 1)
+        engine.rollback(txn)
+        assert engine.get("t", 1)[0] is None
+
+    def test_committed_txn_cannot_change(self):
+        engine = make_engine()
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, row_bytes(1))
+        engine.commit(txn)
+        with pytest.raises(TransactionError):
+            engine.insert(txn, "t", 2, row_bytes(2))
+
+    def test_txn_ids_increment(self):
+        engine = make_engine()
+        assert engine.begin().txn_id == 1
+        assert engine.begin().txn_id == 2
+
+
+class TestReadPath:
+    def test_range_and_full_scan_touch_pool(self):
+        engine = make_engine()
+        txn = engine.begin()
+        for i in range(50):
+            engine.insert(txn, "t", i, row_bytes(i))
+        engine.commit(txn)
+        before = engine.buffer_pool.stats["hits"] + engine.buffer_pool.stats["misses"]
+        engine.range("t", 10, 20)
+        after = engine.buffer_pool.stats["hits"] + engine.buffer_pool.stats["misses"]
+        assert after > before
+
+    def test_scan_avoids_pool(self):
+        engine = make_engine()
+        txn = engine.begin()
+        for i in range(10):
+            engine.insert(txn, "t", i, row_bytes(i))
+        engine.commit(txn)
+        before = engine.buffer_pool.stats["hits"] + engine.buffer_pool.stats["misses"]
+        rows = engine.scan("t")
+        after = engine.buffer_pool.stats["hits"] + engine.buffer_pool.stats["misses"]
+        assert len(rows) == 10
+        assert after == before

@@ -1,0 +1,88 @@
+"""Scaled-down integration tests for the supplementary experiments."""
+
+import pytest
+
+from repro.experiments import (
+    run_adaptive_hash_leak,
+    run_mongo_timing,
+    run_ope_sorting,
+    run_seabed_on_spark,
+    run_slow_log_inference,
+)
+
+
+class TestE3bMongoTiming:
+    def test_objectid_timeline_exact(self):
+        result = run_mongo_timing(num_hours=10, docs_per_burst=8)
+        assert result.objectid_times_exact
+        assert result.oplog_retained == result.documents_inserted
+
+    def test_burst_detection(self):
+        result = run_mongo_timing(num_hours=10, docs_per_burst=8, seed=3)
+        assert result.burst_hours_detected == result.true_burst_hours
+
+    def test_capped_oplog_window(self):
+        result = run_mongo_timing(
+            num_hours=20, docs_per_burst=10, oplog_capacity=30, seed=1
+        )
+        assert result.oplog_retained == 30
+        # ObjectIds still date everything - they are not a log.
+        assert result.objectid_times_exact
+
+
+class TestE4bSlowLog:
+    def test_analytic_queries_recovered(self):
+        result = run_slow_log_inference(
+            table_rows=800, oltp_queries=60, analytic_queries=6
+        )
+        assert result.analytic_recovery_rate == 1.0
+
+    def test_oltp_stays_off_disk(self):
+        result = run_slow_log_inference(
+            table_rows=800, oltp_queries=60, analytic_queries=6
+        )
+        assert result.oltp_leaked == 0
+        assert result.slow_entries_on_disk == result.analytic_queries
+
+
+class TestE5bAdaptiveHash:
+    def test_hottest_key_identified(self):
+        result = run_adaptive_hash_leak(num_keys=25, num_lookups=800)
+        assert result.hottest_identified
+        assert result.promoted_keys >= 1
+
+    def test_top_identities_recovered(self):
+        result = run_adaptive_hash_leak(num_keys=25, num_lookups=1_200)
+        assert result.top5_recovery_rate >= 0.6
+
+    def test_higher_threshold_promotes_fewer(self):
+        low = run_adaptive_hash_leak(num_keys=25, num_lookups=800, promotion_threshold=4)
+        high = run_adaptive_hash_leak(num_keys=25, num_lookups=800, promotion_threshold=64)
+        assert high.promoted_keys <= low.promoted_keys
+
+
+class TestE9bSeabedSpark:
+    def test_event_log_recovers_everything(self):
+        result = run_seabed_on_spark(domain_size=8, num_queries=60)
+        assert result.history_queries_recovered == 60
+        assert result.histogram_exact
+        assert result.counts_correct
+
+    def test_worker_heaps_hold_last_query(self):
+        result = run_seabed_on_spark(domain_size=8, num_queries=60)
+        assert result.executors_with_residue >= 1
+
+
+class TestE13Ope:
+    def test_dense_total_recovery(self):
+        result = run_ope_sorting(num_rows=600)
+        assert result.dense_case
+        assert result.row_recovery_rate == 1.0
+        assert result.value_recovery_rate == 1.0
+
+    def test_sparse_partial_recovery(self):
+        result = run_ope_sorting(num_rows=150, zipf_s=1.2)
+        assert not result.dense_case
+        # Far above the 1/domain ~ 1.4% random baseline; exact recovery
+        # needs either density or more samples (see the benchmark).
+        assert result.row_recovery_rate >= 0.25

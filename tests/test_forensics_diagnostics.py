@@ -1,0 +1,72 @@
+"""Tests for SQL-injection diagnostics extraction (paper Section 4)."""
+
+import pytest
+
+from repro.forensics import extract_diagnostics_via_injection
+from repro.server import MySQLServer, ServerConfig
+
+
+@pytest.fixture
+def victim_scenario():
+    """A victim app issuing sensitive queries + an attacker foothold."""
+    server = MySQLServer()
+    victim = server.connect("webapp")
+    attacker = server.connect("webapp")  # same app user, injected connection
+    server.execute(
+        victim,
+        "CREATE TABLE patients (id INT PRIMARY KEY, name TEXT, diagnosis TEXT)",
+    )
+    server.execute(
+        victim,
+        "INSERT INTO patients (id, name, diagnosis) VALUES "
+        "(1, 'alice', 'flu'), (2, 'bob', 'broken arm')",
+    )
+    server.execute(victim, "SELECT * FROM patients WHERE diagnosis = 'flu'")
+    server.execute(victim, "SELECT * FROM patients WHERE diagnosis = 'broken arm'")
+    server.execute(victim, "SELECT name FROM patients WHERE id = 1")
+    return server, victim, attacker
+
+
+class TestInjectionExtraction:
+    def test_recovers_other_users_queries(self, victim_scenario):
+        server, victim, attacker = victim_scenario
+        report = extract_diagnostics_via_injection(server, attacker)
+        assert any("diagnosis = 'flu'" in q for q in report.other_users_queries)
+
+    def test_history_includes_full_text(self, victim_scenario):
+        server, _, attacker = victim_scenario
+        report = extract_diagnostics_via_injection(server, attacker)
+        texts = report.observed_query_texts
+        assert any("'broken arm'" in t for t in texts)
+
+    def test_digest_histogram_groups_query_types(self, victim_scenario):
+        server, _, attacker = victim_scenario
+        report = extract_diagnostics_via_injection(server, attacker)
+        diagnosis_digests = [
+            (text, count)
+            for text, count in report.digest_histogram.items()
+            if "diagnosis = ?" in text
+        ]
+        assert diagnosis_digests
+        assert diagnosis_digests[0][1] == 2  # two queries of that type
+
+    def test_processlist_includes_attacker_probe(self, victim_scenario):
+        server, _, attacker = victim_scenario
+        report = extract_diagnostics_via_injection(server, attacker)
+        infos = [row[5] for row in report.processlist if row[5]]
+        assert any("processlist" in (info or "") for info in infos)
+
+    def test_history_window_limits_recovery(self):
+        """With the default 10-entry history, old queries age out per-thread."""
+        server = MySQLServer(ServerConfig(perf_schema_history_size=10))
+        victim = server.connect("webapp")
+        attacker = server.connect("webapp")
+        server.execute(victim, "CREATE TABLE t (id INT PRIMARY KEY)")
+        secret = "SELECT id FROM t WHERE id = 777777"
+        server.execute(victim, secret)
+        for i in range(20):
+            server.execute(victim, f"SELECT id FROM t WHERE id = {i}")
+        report = extract_diagnostics_via_injection(server, attacker)
+        assert secret not in report.observed_query_texts
+        # But the digest table still counts its query type forever.
+        assert any("WHERE id = ?" in text for text in report.digest_histogram)

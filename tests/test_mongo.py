@@ -1,0 +1,225 @@
+"""Tests for the MongoDB-flavored substrate and its forensics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimClock
+from repro.errors import ForensicsError, LogError, ReproError
+from repro.mongo import (
+    DocumentStore,
+    ObjectId,
+    Oplog,
+    OplogEntry,
+    creation_times_from_ids,
+    reconstruct_oplog_history,
+)
+from repro.mongo.forensics import capture_disk, write_rate_timeline
+from repro.mongo.objectid import ObjectIdGenerator
+
+
+class TestObjectId:
+    def test_embeds_timestamp(self):
+        gen = ObjectIdGenerator(lambda: 1_500_000_000)
+        oid = gen.next()
+        assert oid.timestamp == 1_500_000_000
+
+    def test_counter_increments(self):
+        gen = ObjectIdGenerator(lambda: 100)
+        a, b = gen.next(), gen.next()
+        assert b.counter == a.counter + 1
+        assert a != b
+
+    def test_sorts_by_time_then_counter(self):
+        times = iter([100, 100, 200])
+        gen = ObjectIdGenerator(lambda: next(times))
+        a, b, c = gen.next(), gen.next(), gen.next()
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_hex_roundtrip(self):
+        gen = ObjectIdGenerator(lambda: 42)
+        oid = gen.next()
+        assert ObjectId.from_hex(oid.hex()) == oid
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ReproError):
+            ObjectId(b"short")
+
+    def test_bad_machine_id_rejected(self):
+        with pytest.raises(ReproError):
+            ObjectIdGenerator(lambda: 0, machine_id=b"xx")
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_timestamp_roundtrip_property(self, stamp):
+        gen = ObjectIdGenerator(lambda: stamp)
+        assert gen.next().timestamp == stamp
+
+
+class TestOplog:
+    def entry(self, ts=100, op="i", ns="app.users"):
+        return OplogEntry(ts=ts, ns=ns, op=op, o={"x": 1})
+
+    def test_append_and_read(self):
+        log = Oplog()
+        log.append(self.entry())
+        assert log.num_entries == 1
+
+    def test_capped_ring(self):
+        log = Oplog(capacity_entries=3)
+        for i in range(10):
+            log.append(self.entry(ts=100 + i))
+        assert log.num_entries == 3
+        assert log.entries[0].ts == 107
+        assert log.total_appended == 10
+
+    def test_window(self):
+        log = Oplog(capacity_entries=5)
+        assert log.window() is None
+        for i in range(8):
+            log.append(self.entry(ts=100 + i))
+        assert log.window() == (103, 107)
+
+    def test_monotone_timestamps_enforced(self):
+        log = Oplog()
+        log.append(self.entry(ts=200))
+        with pytest.raises(LogError):
+            log.append(self.entry(ts=100))
+
+    def test_disabled_oplog(self):
+        log = Oplog(enabled=False)
+        log.append(self.entry())
+        assert log.num_entries == 0
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(LogError):
+            OplogEntry(ts=1, ns="a.b", op="x", o={})
+
+    def test_namespace_filter(self):
+        log = Oplog()
+        log.append(self.entry(ts=1, ns="app.a"))
+        log.append(self.entry(ts=2, ns="app.b"))
+        assert len(log.for_namespace("app.a")) == 1
+
+
+class TestDocumentStore:
+    def make_store(self, **kwargs):
+        return DocumentStore(clock=SimClock(start=1_000_000), **kwargs)
+
+    def test_insert_and_find(self):
+        store = self.make_store()
+        store.insert_one("users", {"name": "alice", "age": 30})
+        store.insert_one("users", {"name": "bob", "age": 40})
+        assert len(store.find("users")) == 2
+        assert store.find("users", {"name": "alice"})[0]["age"] == 30
+
+    def test_range_query_operators(self):
+        store = self.make_store()
+        for age in (10, 20, 30, 40):
+            store.insert_one("users", {"age": age})
+        assert len(store.find("users", {"age": {"$gte": 20, "$lt": 40}})) == 2
+        assert len(store.find("users", {"age": {"$ne": 10}})) == 3
+
+    def test_unsupported_operator_rejected(self):
+        store = self.make_store()
+        store.insert_one("users", {"age": 1})
+        with pytest.raises(ReproError):
+            store.find("users", {"age": {"$regex": "x"}})
+
+    def test_update_many(self):
+        store = self.make_store()
+        store.insert_one("users", {"name": "alice", "vip": False})
+        store.insert_one("users", {"name": "bob", "vip": False})
+        assert store.update_many("users", {"name": "alice"}, {"vip": True}) == 1
+        assert store.find("users", {"vip": True})[0]["name"] == "alice"
+
+    def test_delete_many(self):
+        store = self.make_store()
+        for i in range(5):
+            store.insert_one("users", {"i": i})
+        assert store.delete_many("users", {"i": {"$gte": 3}}) == 2
+        assert store.count("users") == 3
+
+    def test_ids_embed_insertion_time(self):
+        clock = SimClock(start=500_000)
+        store = DocumentStore(clock=clock)
+        first = store.insert_one("t", {"a": 1})
+        clock.advance(3600)
+        second = store.insert_one("t", {"a": 2})
+        assert second.timestamp - first.timestamp >= 3600
+
+    def test_every_write_hits_oplog(self):
+        store = self.make_store()
+        store.insert_one("t", {"a": 1})
+        store.update_many("t", {"a": 1}, {"a": 2})
+        store.delete_many("t", {"a": 2})
+        ops = [e.op for e in store.oplog.entries]
+        assert ops == ["i", "u", "d"]
+
+    def test_profiler_catches_slow_ops(self):
+        store = self.make_store(profile_threshold_ms=0.5)
+        for i in range(100):
+            store.insert_one("t", {"i": i})
+        store.find("t", {"i": {"$gte": 50}})
+        profile = store.profile_entries()
+        assert profile
+        assert profile[-1].query == {"i": {"$gte": 50}}  # full spec leaked
+
+    def test_server_status(self):
+        store = self.make_store()
+        store.insert_one("t", {"a": 1})
+        status = store.server_status()
+        assert status["collections"]["t"] == 1
+        assert status["opcounters"]["total"] >= 1
+
+    def test_current_op_none_when_idle(self):
+        store = self.make_store()
+        assert store.current_op() is None
+
+
+class TestMongoForensics:
+    def loaded_store(self):
+        clock = SimClock(start=1_000_000)
+        store = DocumentStore(clock=clock, oplog_capacity=100)
+        for hour in range(5):
+            for i in range(3):
+                store.insert_one("visits", {"patient": f"p{hour}-{i}"})
+            clock.advance(3600)
+        store.delete_many("visits", {"patient": "p0-0"})
+        return store
+
+    def test_capture_disk_artifacts(self):
+        store = self.loaded_store()
+        artifacts = capture_disk(store)
+        assert artifacts.oplog_entries
+        assert "visits" in artifacts.collection_ids
+
+    def test_creation_times_recoverable_from_ids_alone(self):
+        """The paper's 'even without this log' leak."""
+        store = self.loaded_store()
+        artifacts = capture_disk(store)
+        timeline = creation_times_from_ids(artifacts.collection_ids["visits"])
+        times = [t for _, t in timeline]
+        assert times == sorted(times)
+        assert times[-1] - times[0] >= 4 * 3600  # the workload's time span
+
+    def test_oplog_history_reconstruction(self):
+        store = self.loaded_store()
+        artifacts = capture_disk(store)
+        lines = reconstruct_oplog_history(artifacts.oplog_entries)
+        assert any("INSERT" in line for line in lines)
+        assert any("DELETE" in line for line in lines)
+
+    def test_namespace_filtered_history(self):
+        store = self.loaded_store()
+        lines = reconstruct_oplog_history(store.oplog.entries, namespace="app.none")
+        assert lines == []
+
+    def test_write_rate_timeline(self):
+        store = self.loaded_store()
+        timeline = write_rate_timeline(store.oplog.entries, bucket_seconds=3600)
+        assert sum(timeline.values()) == store.oplog.num_entries
+        assert len(timeline) >= 4  # the workload spanned 5 hourly buckets
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ForensicsError):
+            write_rate_timeline([], bucket_seconds=0)

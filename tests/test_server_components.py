@@ -1,0 +1,162 @@
+"""Unit tests for server components: query cache, AHI, info schema, clock."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import ReproError, ServerError
+from repro.memory import SimulatedHeap
+from repro.server.adaptive_hash import AdaptiveHashIndex
+from repro.server.information_schema import InformationSchema
+from repro.server.query_cache import QueryCache
+from repro.server.session import Session
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock(start=100.0)
+        assert clock.advance(5) == 105.0
+        assert clock.now == 105.0
+
+    def test_sleep_alias(self):
+        clock = SimClock(start=0)
+        clock.sleep(3.5)
+        assert clock.now == 3.5
+
+    def test_timestamp_truncates(self):
+        clock = SimClock(start=99.9)
+        assert clock.timestamp() == 99
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ReproError):
+            SimClock().advance(-1)
+
+
+class TestQueryCacheUnit:
+    def make(self, enabled=True, max_entries=3):
+        return QueryCache(SimulatedHeap(), enabled=enabled, max_entries=max_entries)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.lookup("SELECT 1") is None
+        cache.store("SELECT 1", ("t",), [(1,)])
+        entry = cache.lookup("SELECT 1")
+        assert entry is not None
+        assert entry.rows == ((1,),)
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = self.make(max_entries=2)
+        cache.store("q1", ("t",), [])
+        cache.store("q2", ("t",), [])
+        cache.lookup("q1")  # refresh q1
+        cache.store("q3", ("t",), [])  # evicts q2
+        assert cache.lookup("q2") is None
+        assert cache.lookup("q1") is not None
+
+    def test_evicted_entry_heap_persists(self):
+        heap = SimulatedHeap()
+        cache = QueryCache(heap, enabled=True, max_entries=1)
+        cache.store("SELECT secret_query FROM t", ("t",), [])
+        cache.store("other", ("t",), [])
+        # Evicted but not zeroed: visible to a memory snapshot.
+        assert b"SELECT secret_query FROM t" in heap.snapshot()
+
+    def test_invalidate_only_matching_tables(self):
+        cache = self.make()
+        cache.store("qa", ("a",), [])
+        cache.store("qb", ("b",), [])
+        assert cache.invalidate_table("a") == 1
+        assert cache.lookup("qa") is None
+        assert cache.lookup("qb") is not None
+
+    def test_disabled_is_inert(self):
+        cache = self.make(enabled=False)
+        cache.store("q", ("t",), [])
+        assert cache.num_entries == 0
+        assert cache.lookup("q") is None
+
+    def test_duplicate_store_ignored(self):
+        cache = self.make()
+        cache.store("q", ("t",), [(1,)])
+        cache.store("q", ("t",), [(2,)])
+        assert cache.lookup("q").rows == ((1,),)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ServerError):
+            QueryCache(SimulatedHeap(), max_entries=0)
+
+
+class TestAdaptiveHashUnit:
+    def test_promotion_at_threshold(self):
+        ahi = AdaptiveHashIndex(promotion_threshold=3)
+        for _ in range(2):
+            ahi.record_lookup("t", 5)
+        assert not ahi.is_promoted("t", 5)
+        ahi.record_lookup("t", 5)
+        assert ahi.is_promoted("t", 5)
+
+    def test_hot_keys_sorted_by_count(self):
+        ahi = AdaptiveHashIndex(promotion_threshold=1)
+        for _ in range(5):
+            ahi.record_lookup("t", 1)
+        for _ in range(9):
+            ahi.record_lookup("t", 2)
+        hot = ahi.hot_keys()
+        assert [h.key for h in hot] == [2, 1]
+        assert hot[0].access_count == 9
+
+    def test_disabled_records_nothing(self):
+        ahi = AdaptiveHashIndex(enabled=False)
+        ahi.record_lookup("t", 1)
+        assert ahi.access_count("t", 1) == 0
+
+    def test_clear_on_restart(self):
+        ahi = AdaptiveHashIndex(promotion_threshold=1)
+        ahi.record_lookup("t", 1)
+        ahi.clear()
+        assert ahi.hot_keys() == []
+        assert ahi.counters() == {}
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ServerError):
+            AdaptiveHashIndex(promotion_threshold=0)
+
+
+class TestInformationSchemaUnit:
+    def test_processlist_shows_executing_statement(self):
+        heap = SimulatedHeap()
+        info = InformationSchema()
+        session = Session(1, "alice", heap)
+        info.register_session(session)
+        session.begin_statement("SELECT 1 FROM t", timestamp=100)
+        rows = info.processlist(now=107)
+        assert rows[0].command == "Query"
+        assert rows[0].info == "SELECT 1 FROM t"
+        assert rows[0].time == 7
+
+    def test_idle_session_sleeps_without_info(self):
+        heap = SimulatedHeap()
+        info = InformationSchema()
+        session = Session(1, "alice", heap)
+        info.register_session(session)
+        rows = info.processlist(now=100)
+        assert rows[0].command == "Sleep"
+        assert rows[0].info is None
+
+    def test_unregister(self):
+        heap = SimulatedHeap()
+        info = InformationSchema()
+        session = Session(1, "a", heap)
+        info.register_session(session)
+        info.unregister_session(1)
+        assert info.processlist(now=0) == []
+        assert info.active_connections == 0
+
+    def test_closed_sessions_hidden(self):
+        heap = SimulatedHeap()
+        info = InformationSchema()
+        session = Session(1, "a", heap)
+        info.register_session(session)
+        session.close()
+        assert info.processlist(now=0) == []

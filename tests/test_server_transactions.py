@@ -1,0 +1,93 @@
+"""Tests for multi-statement transactions (BEGIN / COMMIT / ROLLBACK)."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, ServerError
+from repro.server import MySQLServer
+
+
+@pytest.fixture
+def server():
+    return MySQLServer()
+
+
+@pytest.fixture
+def session(server):
+    s = server.connect("app")
+    server.execute(s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    return s
+
+
+class TestTransactions:
+    def test_commit_makes_writes_durable(self, server, session):
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 10)")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (2, 20)")
+        server.execute(session, "COMMIT")
+        assert server.execute(session, "SELECT count(*) FROM t").rows == ((2,),)
+
+    def test_rollback_undoes_all_statements(self, server, session):
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 10)")
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (2, 20)")
+        server.execute(session, "UPDATE t SET v = 99 WHERE id = 1")
+        server.execute(session, "ROLLBACK")
+        result = server.execute(session, "SELECT v FROM t")
+        assert result.rows == ((10,),)
+
+    def test_txn_statements_share_txn_id_in_binlog(self, server, session):
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 1)")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (2, 2)")
+        server.execute(session, "COMMIT")
+        inserts = [
+            e for e in server.engine.binlog.events if "INSERT" in e.statement
+        ]
+        assert len(inserts) == 2
+        assert inserts[0].txn_id == inserts[1].txn_id
+
+    def test_autocommit_statements_get_fresh_txn_ids(self, server, session):
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 1)")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (2, 2)")
+        inserts = [
+            e for e in server.engine.binlog.events if "INSERT" in e.statement
+        ]
+        assert inserts[0].txn_id != inserts[1].txn_id
+
+    def test_nested_begin_rejected(self, server, session):
+        server.execute(session, "BEGIN")
+        with pytest.raises(ServerError):
+            server.execute(session, "BEGIN")
+
+    def test_commit_without_begin_rejected(self, server, session):
+        with pytest.raises(ServerError):
+            server.execute(session, "COMMIT")
+
+    def test_rollback_without_begin_rejected(self, server, session):
+        with pytest.raises(ServerError):
+            server.execute(session, "ROLLBACK")
+
+    def test_error_in_txn_aborts_it(self, server, session):
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 1)")
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (2, 2)")
+        with pytest.raises(DuplicateKeyError):
+            server.execute(session, "INSERT INTO t (id, v) VALUES (1, 0)")
+        # Whole transaction rolled back and closed.
+        assert session.active_txn is None
+        assert server.execute(session, "SELECT count(*) FROM t").rows == ((1,),)
+
+    def test_selects_allowed_inside_txn(self, server, session):
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (1, 1)")
+        result = server.execute(session, "SELECT v FROM t WHERE id = 1")
+        assert result.rows == ((1,),)
+        server.execute(session, "COMMIT")
+
+    def test_rolled_back_txn_leaves_undo_evidence(self, server, session):
+        """ACID leakage: even aborted writes hit the logs first (paper §3)."""
+        server.execute(session, "BEGIN")
+        server.execute(session, "INSERT INTO t (id, v) VALUES (7, 777)")
+        server.execute(session, "ROLLBACK")
+        redo_ops = [r.op for r in server.engine.redo_log.records()]
+        assert "insert" in redo_ops  # the aborted insert's after-image

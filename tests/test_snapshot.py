@@ -1,0 +1,146 @@
+"""Tests for snapshot scenarios and capture (Figure 1)."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.server import MySQLServer
+from repro.snapshot import AttackScenario, StateQuadrant, capture, quadrants_for
+from repro.snapshot.scenario import access_matrix, reveals
+
+
+@pytest.fixture
+def loaded_server():
+    server = MySQLServer()
+    session = server.connect("app")
+    server.execute(session, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    server.execute(session, "INSERT INTO t (id, v) VALUES (1, 'secret-value')")
+    server.execute(session, "SELECT v FROM t WHERE id = 1")
+    server.dump_buffer_pool()
+    return server
+
+
+class TestScenarioMatrix:
+    def test_disk_theft_persistent_only(self):
+        quads = quadrants_for(AttackScenario.DISK_THEFT)
+        assert StateQuadrant.PERSISTENT_DB in quads
+        assert StateQuadrant.PERSISTENT_OS in quads
+        assert StateQuadrant.VOLATILE_DB not in quads
+
+    def test_sql_injection_db_only(self):
+        quads = quadrants_for(AttackScenario.SQL_INJECTION)
+        assert quads == {
+            StateQuadrant.PERSISTENT_DB,
+            StateQuadrant.VOLATILE_DB,
+        }
+
+    def test_vm_and_full_see_everything(self):
+        for scenario in (AttackScenario.VM_SNAPSHOT, AttackScenario.FULL_COMPROMISE):
+            assert quadrants_for(scenario) == set(StateQuadrant)
+
+    def test_reveals_helper(self):
+        assert reveals(AttackScenario.DISK_THEFT, StateQuadrant.PERSISTENT_DB)
+        assert not reveals(AttackScenario.DISK_THEFT, StateQuadrant.VOLATILE_OS)
+
+    def test_figure1_artifact_matrix(self):
+        matrix = access_matrix()
+        # Disk theft: logs only.
+        assert matrix[AttackScenario.DISK_THEFT] == {
+            "logs": True,
+            "diagnostic_tables": False,
+            "data_structures": False,
+        }
+        # SQL injection: diagnostic tables (data structures need escalation).
+        assert matrix[AttackScenario.SQL_INJECTION]["diagnostic_tables"]
+        assert not matrix[AttackScenario.SQL_INJECTION]["data_structures"]
+        # VM snapshot and full compromise: everything.
+        for scenario in (AttackScenario.VM_SNAPSHOT, AttackScenario.FULL_COMPROMISE):
+            assert all(matrix[scenario].values())
+
+    def test_check_counts_match_paper_table(self):
+        # Figure 1 shows 1 / 2 / 3 / 3 checks per row.
+        matrix = access_matrix()
+        counts = {s: sum(matrix[s].values()) for s in AttackScenario}
+        assert counts[AttackScenario.DISK_THEFT] == 1
+        assert counts[AttackScenario.SQL_INJECTION] == 2
+        assert counts[AttackScenario.VM_SNAPSHOT] == 3
+        assert counts[AttackScenario.FULL_COMPROMISE] == 3
+
+
+class TestCapture:
+    def test_disk_theft_has_disk_no_memory(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
+        assert snap.redo_log_raw is not None
+        assert snap.binlog_events is not None
+        assert snap.buffer_pool_dump is not None
+        assert snap.tablespace_images and "t" in snap.tablespace_images
+        assert snap.memory_dump is None
+        assert snap.digest_summaries is None
+        with pytest.raises(SnapshotError):
+            snap.require_memory_dump()
+
+    def test_sql_injection_no_raw_data_structures(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.SQL_INJECTION)
+        assert snap.digest_summaries is not None
+        assert snap.processlist is not None
+        # Persistent DB state is reachable (code injection reads DB files)...
+        assert snap.redo_log_raw is not None
+        # ...but the strictly-internal structures need the escalation.
+        assert snap.memory_dump is None
+        assert snap.query_cache_statements is None
+        with pytest.raises(SnapshotError):
+            snap.require_memory_dump()
+
+    def test_sql_injection_escalated_adds_memory(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.SQL_INJECTION, escalated=True)
+        assert snap.memory_dump is not None
+        assert snap.query_cache_statements is not None
+        # Code execution in the DB process also reads the DB's files: the
+        # paper says injection yields "the persistent and volatile DB state".
+        assert snap.redo_log_raw is not None
+
+    def test_vm_snapshot_has_everything(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.VM_SNAPSHOT)
+        assert snap.redo_log_raw is not None
+        assert snap.memory_dump is not None
+        assert snap.digest_summaries is not None
+        assert snap.live_buffer_pool is not None
+
+    def test_memory_dump_contains_query_text(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.FULL_COMPROMISE)
+        dump = snap.require_memory_dump()
+        assert dump.count_locations("SELECT v FROM t WHERE id = 1") >= 1
+
+    def test_snapshot_is_static(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.VM_SNAPSHOT)
+        before = snap.require_memory_dump().size
+        session = loaded_server.connect("later")
+        loaded_server.execute(session, "SELECT * FROM t")
+        assert snap.require_memory_dump().size == before
+
+    def test_captured_at_uses_sim_clock(self, loaded_server):
+        now = loaded_server.clock.timestamp()
+        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
+        assert snap.captured_at == now
+
+
+class TestVmSnapshotVariants:
+    """Paper §2: storage-only vs full-state VM snapshots."""
+
+    def test_storage_only_snapshot_is_disk_like(self, loaded_server):
+        snap = capture(
+            loaded_server, AttackScenario.VM_SNAPSHOT, full_state=False
+        )
+        assert snap.redo_log_raw is not None
+        assert snap.binlog_events is not None
+        assert snap.memory_dump is None
+        assert snap.digest_summaries is None
+
+    def test_full_state_is_default(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.VM_SNAPSHOT)
+        assert snap.memory_dump is not None
+
+    def test_full_state_flag_ignored_elsewhere(self, loaded_server):
+        snap = capture(
+            loaded_server, AttackScenario.FULL_COMPROMISE, full_state=False
+        )
+        assert snap.memory_dump is not None

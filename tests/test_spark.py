@@ -1,0 +1,150 @@
+"""Tests for the mini Spark cluster and its leak surfaces."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import LogError, ReproError
+from repro.spark import (
+    EventLog,
+    MiniSparkCluster,
+    SparkEvent,
+    history_server_queries,
+    scan_executor_heaps,
+)
+from repro.spark.forensics import query_histogram
+
+
+@pytest.fixture
+def cluster():
+    cluster = MiniSparkCluster(num_executors=3, clock=SimClock(start=1_000))
+    cluster.create_table(
+        "sales",
+        [
+            {"region": "east", "amount": 10},
+            {"region": "west", "amount": 20},
+            {"region": "east", "amount": 30},
+            {"region": "north", "amount": 5},
+            {"region": "east", "amount": 7},
+        ],
+    )
+    return cluster
+
+
+class TestEngine:
+    def test_count(self, cluster):
+        result = cluster.run_aggregation("sales", "count")
+        assert result.value == 5
+        assert result.rows_scanned == 5
+
+    def test_count_with_filter(self, cluster):
+        result = cluster.run_aggregation(
+            "sales", "count", filter_col="region", filter_value="east"
+        )
+        assert result.value == 3
+
+    def test_sum(self, cluster):
+        result = cluster.run_aggregation("sales", "sum", column="amount")
+        assert result.value == 72
+
+    def test_sum_with_filter(self, cluster):
+        result = cluster.run_aggregation(
+            "sales", "sum", column="amount",
+            filter_col="region", filter_value="east",
+        )
+        assert result.value == 47
+
+    def test_partitioned_across_executors(self, cluster):
+        cluster.run_aggregation("sales", "count")
+        assert sum(e.tasks_run for e in cluster.executors) == 3
+
+    def test_sum_needs_column(self, cluster):
+        with pytest.raises(ReproError):
+            cluster.run_aggregation("sales", "sum")
+
+    def test_unknown_table(self, cluster):
+        with pytest.raises(ReproError):
+            cluster.run_aggregation("nope", "count")
+
+    def test_bad_agg(self, cluster):
+        with pytest.raises(ReproError):
+            cluster.run_aggregation("sales", "median")
+
+    def test_duplicate_table(self, cluster):
+        with pytest.raises(ReproError):
+            cluster.create_table("sales", [])
+
+    def test_zero_executors_rejected(self):
+        with pytest.raises(ReproError):
+            MiniSparkCluster(num_executors=0)
+
+
+class TestEventLog:
+    def test_jobs_recorded_with_description(self, cluster):
+        cluster.run_aggregation("sales", "count")
+        starts = [
+            e for e in cluster.event_log.events
+            if e.event_type == "SparkListenerJobStart"
+        ]
+        assert len(starts) == 1
+        assert "SELECT count(*)" in starts[0].payload["Job Description"]
+
+    def test_jsonl_roundtrip(self, cluster):
+        cluster.run_aggregation("sales", "count")
+        cluster.run_aggregation("sales", "sum", column="amount")
+        text = cluster.event_log.to_jsonl()
+        parsed = EventLog.parse_jsonl(text)
+        assert len(parsed) == cluster.event_log.num_events
+        assert parsed[0].event_type == "SparkListenerJobStart"
+
+    def test_disabled_log(self):
+        cluster = MiniSparkCluster(num_executors=1, event_log_enabled=False)
+        cluster.create_table("t", [{"a": 1}])
+        cluster.run_aggregation("t", "count")
+        assert cluster.event_log.num_events == 0
+
+    def test_bad_jsonl_rejected(self):
+        with pytest.raises(LogError):
+            EventLog.parse_jsonl("not json\n")
+
+    def test_bad_event_type_rejected(self):
+        with pytest.raises(LogError):
+            SparkEvent("Nonsense", 0, 0, {})
+
+
+class TestSparkForensics:
+    def test_history_server_recovers_all_queries(self, cluster):
+        cluster.run_aggregation(
+            "sales", "count", filter_col="region", filter_value="east"
+        )
+        cluster.run_aggregation("sales", "sum", column="amount")
+        recovered = history_server_queries(cluster.event_log.to_jsonl())
+        assert len(recovered) == 2
+        assert "region = 'east'" in recovered[0][2]
+
+    def test_query_histogram(self, cluster):
+        for _ in range(3):
+            cluster.run_aggregation(
+                "sales", "count", filter_col="region", filter_value="east"
+            )
+        cluster.run_aggregation(
+            "sales", "count", filter_col="region", filter_value="west"
+        )
+        histogram = query_histogram(cluster.event_log.to_jsonl())
+        assert sorted(histogram.values()) == [1, 3]
+
+    def test_executor_heaps_retain_expressions(self, cluster):
+        cluster.run_aggregation(
+            "sales", "count", filter_col="region", filter_value="east"
+        )
+        hits = scan_executor_heaps(cluster, "region = 'east'")
+        assert sum(hits.values()) >= cluster.run_aggregation("sales", "count").partitions - 1
+        # Every executor that ran a task holds at least one copy.
+        assert all(count >= 1 for count in hits.values())
+
+    def test_timestamps_monotone(self, cluster):
+        cluster.run_aggregation("sales", "count")
+        cluster.clock.advance(100)
+        cluster.run_aggregation("sales", "count")
+        times = [t for t, _, _ in history_server_queries(cluster.event_log.to_jsonl())]
+        assert times == sorted(times)
+        assert times[1] - times[0] >= 100

@@ -1,0 +1,120 @@
+"""Tests for SUM/MIN/MAX/AVG aggregates and GROUP BY."""
+
+import pytest
+
+from repro.errors import CatalogError, ParseError
+from repro.server import MySQLServer
+from repro.sql import digest, parse
+
+
+@pytest.fixture
+def server():
+    return MySQLServer()
+
+
+@pytest.fixture
+def session(server):
+    s = server.connect()
+    server.execute(
+        s, "CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount INT)"
+    )
+    server.execute(
+        s,
+        "INSERT INTO sales (id, region, amount) VALUES "
+        "(1, 'east', 10), (2, 'west', 20), (3, 'east', 30), "
+        "(4, 'north', NULL), (5, 'west', 6)",
+    )
+    return s
+
+
+class TestParsing:
+    def test_aggregate_functions(self):
+        for func in ("sum", "min", "max", "avg"):
+            stmt = parse(f"SELECT {func}(amount) FROM sales")
+            assert stmt.aggregate.func == func
+            assert stmt.aggregate.column == "amount"
+
+    def test_group_by(self):
+        stmt = parse("SELECT sum(amount) FROM sales GROUP BY region")
+        assert stmt.group_by == "region"
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT region FROM sales GROUP BY region")
+
+    def test_group_by_with_where_and_limit(self):
+        stmt = parse(
+            "SELECT count(*) FROM sales WHERE amount >= 5 "
+            "GROUP BY region LIMIT 2"
+        )
+        assert stmt.group_by == "region"
+        assert stmt.limit == 2
+
+
+class TestExecution:
+    def test_sum(self, server, session):
+        assert server.execute(session, "SELECT sum(amount) FROM sales").rows == ((66,),)
+
+    def test_min_max(self, server, session):
+        assert server.execute(session, "SELECT min(amount) FROM sales").rows == ((6,),)
+        assert server.execute(session, "SELECT max(amount) FROM sales").rows == ((30,),)
+
+    def test_avg_floor(self, server, session):
+        # (10+20+30+6) / 4 non-NULL values = 16.5 -> floor 16
+        assert server.execute(session, "SELECT avg(amount) FROM sales").rows == ((16,),)
+
+    def test_nulls_skipped(self, server, session):
+        result = server.execute(
+            session, "SELECT min(amount) FROM sales WHERE region = 'north'"
+        )
+        assert result.rows == ((None,),)
+
+    def test_group_by_sum(self, server, session):
+        result = server.execute(
+            session, "SELECT sum(amount) FROM sales GROUP BY region"
+        )
+        assert result.rows == (("east", 40), ("north", 0), ("west", 26))
+        assert result.columns == ("region", "sum(amount)")
+
+    def test_group_by_count(self, server, session):
+        result = server.execute(
+            session, "SELECT count(*) FROM sales GROUP BY region"
+        )
+        assert dict(result.rows) == {"east": 2, "north": 1, "west": 2}
+
+    def test_group_by_with_where(self, server, session):
+        result = server.execute(
+            session,
+            "SELECT count(*) FROM sales WHERE amount >= 10 GROUP BY region",
+        )
+        assert dict(result.rows) == {"east": 2, "west": 1}
+
+    def test_group_by_limit(self, server, session):
+        result = server.execute(
+            session, "SELECT count(*) FROM sales GROUP BY region LIMIT 20"
+        )
+        assert len(result.rows) == 3  # limit applies pre-grouping to rows
+
+    def test_aggregate_over_text_rejected(self, server, session):
+        with pytest.raises(CatalogError):
+            server.execute(session, "SELECT sum(region) FROM sales")
+
+    def test_unknown_group_column_rejected(self, server, session):
+        with pytest.raises(CatalogError):
+            server.execute(session, "SELECT count(*) FROM sales GROUP BY nope")
+
+    def test_empty_table_aggregates(self, server):
+        session = server.connect()
+        server.execute(session, "CREATE TABLE e (id INT PRIMARY KEY, v INT)")
+        assert server.execute(session, "SELECT sum(v) FROM e").rows == ((0,),)
+        assert server.execute(session, "SELECT min(v) FROM e").rows == ((None,),)
+        assert server.execute(session, "SELECT avg(v) FROM e").rows == ((None,),)
+
+
+class TestDigestInteraction:
+    def test_group_by_queries_share_digests(self):
+        a = "SELECT sum(amount) FROM sales WHERE region = 'east' GROUP BY region"
+        b = "SELECT sum(amount) FROM sales WHERE region = 'west' GROUP BY region"
+        c = "SELECT sum(amount) FROM sales GROUP BY region"
+        assert digest(a) == digest(b)
+        assert digest(a) != digest(c)

@@ -1,0 +1,93 @@
+"""Fuzz/property tests for the SQL front end's robustness.
+
+The parser faces attacker-influenced input (SQL injection is a core paper
+scenario), so it must fail *only* with typed errors — never hang, crash, or
+corrupt state — on arbitrary input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, SQLError
+from repro.server import MySQLServer
+from repro.sql import canonicalize, digest, parse, tokenize
+from repro.sql.ast import Select
+
+
+class TestLexerFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=120))
+    def test_tokenize_total_or_typed_error(self, text):
+        try:
+            tokens = tokenize(text)
+        except SQLError:
+            return
+        # On success the token stream is well-formed and EOF-terminated.
+        assert tokens[-1].type.value == "eof"
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet="SELECT FROMWHERE*(),'=<>0123456789abcxyz_ ", max_size=100))
+    def test_parse_total_or_typed_error(self, text):
+        try:
+            parse(text)
+        except SQLError:
+            pass  # LexerError / ParseError are the only acceptable failures
+
+
+class TestDigestFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="SELECT FROM t WHERE a=1'x'2 ", max_size=80))
+    def test_digest_total_on_lexable_input(self, text):
+        try:
+            tokenize(text)
+        except SQLError:
+            return
+        # Lexable input always canonicalizes and digests.
+        assert len(digest(text)) == 32
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    def test_digest_literal_independence(self, a, b):
+        assert digest(f"SELECT * FROM t WHERE x = {a}") == digest(
+            f"SELECT * FROM t WHERE x = {b}"
+        )
+
+    def test_canonicalize_idempotent_on_canonical_text(self):
+        text = canonicalize("SELECT * FROM t WHERE a = 5 AND b = 'x'")
+        assert canonicalize(text) == text
+
+
+class TestServerFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=80))
+    def test_server_survives_arbitrary_statements(self, text):
+        server = MySQLServer()
+        session = server.connect("fuzzer")
+        try:
+            server.execute(session, text)
+        except Exception as exc:
+            # Any library error is fine; session must stay usable.
+            from repro.errors import ReproError
+
+            assert isinstance(exc, ReproError), type(exc)
+        result = server.execute(
+            session, "SELECT * FROM information_schema.processlist"
+        )
+        assert result.rows  # the session survived
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                   blacklist_characters="'"),
+            max_size=40,
+        )
+    )
+    def test_string_literals_roundtrip_through_storage(self, text):
+        server = MySQLServer()
+        session = server.connect()
+        server.execute(session, "CREATE TABLE f (id INT PRIMARY KEY, v TEXT)")
+        server.execute(session, f"INSERT INTO f (id, v) VALUES (1, '{text}')")
+        result = server.execute(session, "SELECT v FROM f WHERE id = 1")
+        assert result.rows == ((text,),)

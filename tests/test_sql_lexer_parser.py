@@ -1,0 +1,202 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.sql import (
+    Aggregate,
+    BetweenCondition,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    MatchCondition,
+    Select,
+    Update,
+    parse,
+    tokenize,
+)
+from repro.sql.ast import is_write
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT name FROM customers")
+        kinds = [t.type for t in tokens[:-1]]
+        assert kinds == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+        ]
+
+    def test_string_literal_keeps_raw_text(self):
+        tokens = tokenize("SELECT * FROM t WHERE state = 'IN'")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].text == "'IN'"
+        assert strings[0].value == "IN"
+
+    def test_numbers_including_negative(self):
+        tokens = tokenize("WHERE age >= -25")
+        numbers = [t for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers[0].value == -25
+
+    def test_hex_literal(self):
+        tokens = tokenize("WHERE c = x'deadbeef'")
+        hexes = [t for t in tokens if t.type is TokenType.HEX]
+        assert hexes[0].value == bytes.fromhex("deadbeef")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= 1 AND b <= 2 AND c != 3 AND d <> 4")
+        ops = [t.text for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == [">=", "<=", "!=", "<>"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT 'oops")
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @foo")
+
+    def test_invalid_hex(self):
+        with pytest.raises(LexerError):
+            tokenize("WHERE c = x'zz'")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestParseSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM customers")
+        assert isinstance(stmt, Select)
+        assert stmt.table == "customers"
+        assert stmt.is_star
+
+    def test_columns(self):
+        stmt = parse("SELECT name, age FROM customers")
+        assert stmt.columns == ("name", "age")
+
+    def test_where_equality(self):
+        stmt = parse("SELECT * FROM customers WHERE state = 'IN'")
+        assert stmt.where.conditions == (Comparison("state", "=", "IN"),)
+
+    def test_where_conjunction(self):
+        stmt = parse("SELECT * FROM customers WHERE state = 'IN' AND age >= 25")
+        assert len(stmt.where.conditions) == 2
+        assert stmt.where.columns == ("state", "age")
+
+    def test_between(self):
+        stmt = parse("SELECT * FROM t WHERE id BETWEEN 5 AND 10")
+        assert stmt.where.conditions == (BetweenCondition("id", 5, 10),)
+
+    def test_match(self):
+        stmt = parse("SELECT * FROM docs WHERE MATCH(body, 'contract')")
+        assert stmt.where.conditions == (MatchCondition("body", "contract"),)
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t WHERE a = 10")
+        assert stmt.aggregate == Aggregate(func="count", column=None)
+
+    def test_ashe_sum(self):
+        stmt = parse("SELECT ashe_sum(c3) FROM t")
+        assert stmt.aggregate == Aggregate(func="ashe_sum", column="c3")
+
+    def test_order_and_limit(self):
+        stmt = parse("SELECT * FROM t ORDER BY id LIMIT 5")
+        assert stmt.order_by == "id"
+        assert stmt.limit == 5
+
+    def test_schema_qualified_table(self):
+        stmt = parse("SELECT * FROM information_schema.processlist")
+        assert stmt.table == "information_schema.processlist"
+
+    def test_raw_preserved(self):
+        sql = "SELECT * FROM t WHERE a = 'xyzzy'"
+        assert parse(sql).raw == sql
+
+
+class TestParseWrites:
+    def test_insert_single(self):
+        stmt = parse("INSERT INTO t (id, name) VALUES (1, 'bob')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ("id", "name")
+        assert stmt.rows == ((1, "bob"),)
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t (id) VALUES (1), (2), (3)")
+        assert stmt.rows == ((1,), (2,), (3,))
+
+    def test_insert_null(self):
+        stmt = parse("INSERT INTO t (a) VALUES (NULL)")
+        assert stmt.rows == ((None,),)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET name = 'x', age = 3 WHERE id = 7")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments == (("name", "x"), ("age", 3))
+        assert stmt.where.conditions[0].value == 7
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE id = 9")
+        assert isinstance(stmt, Delete)
+
+    def test_delete_without_where(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_is_write_classification(self):
+        assert is_write(parse("INSERT INTO t (a) VALUES (1)"))
+        assert is_write(parse("UPDATE t SET a = 1"))
+        assert is_write(parse("DELETE FROM t"))
+        assert not is_write(parse("SELECT * FROM t"))
+
+
+class TestParseCreate:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, data BLOB)")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.primary_key == "id"
+        assert [c.type for c in stmt.columns] == ["INT", "TEXT", "BLOB"]
+
+    def test_no_primary_key(self):
+        stmt = parse("CREATE TABLE t (a INT, b TEXT)")
+        assert stmt.primary_key is None
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(ParseError):
+            parse("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse("CREATE TABLE t (a FLOAT)")
+
+
+class TestParseErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse("DROP TABLE t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t extra stuff here")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT *")
+
+    def test_bad_limit(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t LIMIT x")
+
+    def test_semicolon_accepted(self):
+        stmt = parse("SELECT * FROM t;")
+        assert isinstance(stmt, Select)

@@ -1,0 +1,239 @@
+"""Unit and property tests for records, pages, tablespaces, and buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BufferPoolError, PageError, RecordError, StorageError
+from repro.storage import (
+    BufferPool,
+    Page,
+    PageType,
+    Tablespace,
+    decode_row,
+    encode_row,
+)
+from repro.storage.record import row_size
+
+value_strategy = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+
+class TestRecordCodec:
+    def test_roundtrip_mixed(self):
+        row = (1, "bob", b"\x00\xff", None)
+        decoded, _ = decode_row(encode_row(row))
+        assert decoded == row
+
+    def test_empty_row(self):
+        decoded, _ = decode_row(encode_row(()))
+        assert decoded == ()
+
+    def test_int_bounds(self):
+        for value in (-(2**63), 2**63 - 1):
+            decoded, _ = decode_row(encode_row((value,)))
+            assert decoded == (value,)
+
+    def test_int_overflow_rejected(self):
+        with pytest.raises(RecordError):
+            encode_row((2**63,))
+
+    def test_bool_rejected(self):
+        with pytest.raises(RecordError):
+            encode_row((True,))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(RecordError):
+            encode_row((3.5,))
+
+    def test_truncated_rejected(self):
+        blob = encode_row((12345,))
+        with pytest.raises(RecordError):
+            decode_row(blob[:-2])
+
+    def test_row_size_matches(self):
+        row = (7, "hello")
+        assert row_size(row) == len(encode_row(row))
+
+    @settings(max_examples=80)
+    @given(st.lists(value_strategy, max_size=8))
+    def test_roundtrip_property(self, values):
+        row = tuple(values)
+        decoded, _ = decode_row(encode_row(row))
+        assert decoded == row
+
+
+class TestPage:
+    def test_insert_read(self):
+        page = Page(0, PageType.INDEX_LEAF)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert page.num_records == 1
+
+    def test_insert_at_slot(self):
+        page = Page(0)
+        page.insert(b"b")
+        page.insert(b"a", slot=0)
+        assert page.records == [b"a", b"b"]
+
+    def test_replace_returns_old(self):
+        page = Page(0)
+        page.insert(b"old")
+        assert page.replace(0, b"new") == b"old"
+        assert page.read(0) == b"new"
+
+    def test_delete_returns_old(self):
+        page = Page(0)
+        page.insert(b"x")
+        assert page.delete(0) == b"x"
+        assert page.num_records == 0
+
+    def test_overflow_rejected(self):
+        page = Page(0, capacity=16)
+        with pytest.raises(PageError):
+            page.insert(b"x" * 32)
+
+    def test_free_bytes_accounting(self):
+        page = Page(0, capacity=100)
+        page.insert(b"abcd")
+        assert page.used_bytes == 8  # 4 payload + 4 length prefix
+        assert page.free_bytes == 92
+        page.delete(0)
+        assert page.used_bytes == 0
+
+    def test_bad_slot_rejected(self):
+        page = Page(0)
+        with pytest.raises(PageError):
+            page.read(0)
+        with pytest.raises(PageError):
+            page.delete(5)
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(PageError):
+            Page(-1)
+
+    def test_serialization_roundtrip(self):
+        page = Page(3, PageType.INDEX_INTERNAL, level=2)
+        page.insert(b"one")
+        page.insert(b"two")
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.page_id == 3
+        assert restored.page_type is PageType.INDEX_INTERNAL
+        assert restored.level == 2
+        assert restored.records == [b"one", b"two"]
+
+
+class TestTablespace:
+    def test_allocate_sequential_ids(self):
+        space = Tablespace(1, "t")
+        assert space.allocate().page_id == 0
+        assert space.allocate().page_id == 1
+
+    def test_page_lookup(self):
+        space = Tablespace(1, "t")
+        page = space.allocate()
+        assert space.page(page.page_id) is page
+
+    def test_unknown_page_rejected(self):
+        space = Tablespace(1, "t")
+        with pytest.raises(StorageError):
+            space.page(99)
+
+    def test_free(self):
+        space = Tablespace(1, "t")
+        page = space.allocate()
+        space.free(page.page_id)
+        assert not space.has_page(page.page_id)
+        with pytest.raises(StorageError):
+            space.free(page.page_id)
+
+    def test_serialization_roundtrip(self):
+        space = Tablespace(7, "customers")
+        page = space.allocate(PageType.INDEX_LEAF)
+        page.insert(b"row-bytes")
+        restored = Tablespace.from_bytes(space.to_bytes())
+        assert restored.space_id == 7
+        assert restored.name == "customers"
+        assert restored.page(page.page_id).records == [b"row-bytes"]
+        # id allocation continues past restored pages
+        assert restored.allocate().page_id == page.page_id + 1
+
+
+class TestBufferPool:
+    def test_touch_and_contains(self):
+        pool = BufferPool(capacity=4)
+        pool.touch(1, 10)
+        assert pool.contains(1, 10)
+        assert not pool.contains(1, 11)
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1, 1)
+        pool.touch(1, 2)
+        pool.touch(1, 3)  # evicts page 1
+        assert not pool.contains(1, 1)
+        assert pool.contains(1, 2)
+        assert pool.contains(1, 3)
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1, 1)
+        pool.touch(1, 2)
+        pool.touch(1, 1)  # page 1 now MRU
+        pool.touch(1, 3)  # evicts page 2
+        assert pool.contains(1, 1)
+        assert not pool.contains(1, 2)
+
+    def test_access_counts(self):
+        pool = BufferPool(capacity=4)
+        for _ in range(5):
+            pool.touch(1, 9)
+        assert pool.access_count(1, 9) == 5
+        assert pool.access_count(1, 8) == 0
+
+    def test_stats(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1, 1)
+        pool.touch(1, 1)
+        pool.touch(1, 2)
+        pool.touch(1, 3)
+        stats = pool.stats
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+
+    def test_dump_mru_first(self):
+        pool = BufferPool(capacity=4)
+        pool.touch(1, 1, level=2)
+        pool.touch(1, 2, level=1)
+        pool.touch(1, 3, level=0)
+        dump = pool.dump()
+        assert [e.page_id for e in dump.entries] == [3, 2, 1]
+        assert dump.entries[0].level == 0
+
+    def test_dump_text_format(self):
+        pool = BufferPool(capacity=4)
+        pool.touch(5, 7, level=1)
+        text = pool.dump().to_text()
+        assert "5,7,1,1" in text
+
+    def test_clear(self):
+        pool = BufferPool(capacity=4)
+        pool.touch(1, 1)
+        pool.clear()
+        assert pool.resident_pages == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(capacity=0)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_capacity_never_exceeded(self, accesses):
+        pool = BufferPool(capacity=5)
+        for page_id in accesses:
+            pool.touch(0, page_id)
+        assert pool.resident_pages <= 5

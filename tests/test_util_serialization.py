@@ -1,0 +1,113 @@
+"""Unit tests for the byte-serialization helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RecordError
+from repro.util import (
+    decode_bytes,
+    decode_str,
+    decode_uint,
+    encode_bytes,
+    encode_str,
+    encode_uint,
+    read_uint,
+)
+from repro.util.text import format_bytes, truncate
+
+
+class TestUintCodec:
+    def test_roundtrip_u32(self):
+        for value in (0, 1, 0xFFFFFFFF):
+            assert decode_uint(encode_uint(value)) == value
+
+    def test_roundtrip_u64(self):
+        for value in (0, 1, 0xFFFFFFFFFFFFFFFF):
+            assert decode_uint(encode_uint(value, 8), 8) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(RecordError):
+            encode_uint(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(RecordError):
+            encode_uint(1 << 32)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(RecordError):
+            encode_uint(1, width=3)
+        with pytest.raises(RecordError):
+            decode_uint(b"abc", width=3)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(RecordError):
+            decode_uint(b"abc")
+
+    def test_read_uint_offsets(self):
+        blob = encode_uint(7) + encode_uint(9)
+        value, offset = read_uint(blob, 0)
+        assert (value, offset) == (7, 4)
+        value, offset = read_uint(blob, offset)
+        assert (value, offset) == (9, 8)
+
+    def test_read_uint_truncated(self):
+        with pytest.raises(RecordError):
+            read_uint(b"\x01\x02", 0)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, value):
+        assert decode_uint(encode_uint(value)) == value
+
+
+class TestBytesStrCodec:
+    def test_bytes_roundtrip(self):
+        payload, offset = decode_bytes(encode_bytes(b"hello"))
+        assert payload == b"hello"
+        assert offset == 9
+
+    def test_empty_bytes(self):
+        payload, _ = decode_bytes(encode_bytes(b""))
+        assert payload == b""
+
+    def test_str_roundtrip_unicode(self):
+        text, _ = decode_str(encode_str("héllo wörld"))
+        assert text == "héllo wörld"
+
+    def test_truncated_bytes_rejected(self):
+        blob = encode_bytes(b"hello")[:-1]
+        with pytest.raises(RecordError):
+            decode_bytes(blob)
+
+    def test_invalid_utf8_rejected(self):
+        blob = encode_bytes(b"\xff\xfe")
+        with pytest.raises(RecordError):
+            decode_str(blob)
+
+    @given(st.binary(max_size=256))
+    def test_bytes_property(self, payload):
+        decoded, _ = decode_bytes(encode_bytes(payload))
+        assert decoded == payload
+
+    @given(st.text(max_size=128))
+    def test_str_property(self, text):
+        decoded, _ = decode_str(encode_str(text))
+        assert decoded == text
+
+
+class TestTextHelpers:
+    def test_truncate_short(self):
+        assert truncate("abc", 10) == "abc"
+
+    def test_truncate_long(self):
+        out = truncate("a" * 100, 10)
+        assert len(out) == 10
+        assert out.endswith("...")
+
+    def test_truncate_tiny_limit(self):
+        assert truncate("abcdef", 2) == "ab"
+
+    def test_format_bytes_units(self):
+        assert format_bytes(10) == "10 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "MiB" in format_bytes(50 * 1024 * 1024)

@@ -1,0 +1,120 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.attacks import unique_count_fraction
+from repro.errors import WorkloadError
+from repro.workloads import (
+    customer_insert_statements,
+    generate_corpus,
+    generate_customers,
+    uniform_range_queries,
+    zipf_frequencies,
+    zipf_point_queries,
+)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(num_documents=200, vocabulary_size=50, seed=3)
+        b = generate_corpus(num_documents=200, vocabulary_size=50, seed=3)
+        assert a.keyword_doc_counts == b.keyword_doc_counts
+
+    def test_counts_match_documents(self):
+        corpus = generate_corpus(num_documents=300, vocabulary_size=80, seed=1)
+        for word, count in corpus.keyword_doc_counts.items():
+            actual = sum(1 for d in corpus.documents if word in d.keywords)
+            assert actual == count
+
+    def test_zipf_head_heavier_than_tail(self):
+        corpus = generate_corpus(num_documents=500, vocabulary_size=100, seed=2)
+        top = corpus.top_keywords(100)
+        head = corpus.keyword_doc_counts[top[0]]
+        tail = corpus.keyword_doc_counts[top[-1]]
+        assert head > 3 * tail
+
+    def test_unique_count_regime(self):
+        # The property driving the count attack: most frequent keywords have
+        # unique document counts. The paper cites 63% for the Enron top-500;
+        # at our 16k-document scale the same regime holds for the top-100
+        # (unique fraction ~ sqrt(C)/k, see generate_corpus docstring).
+        corpus = generate_corpus(seed=0)
+        fraction = unique_count_fraction(corpus.auxiliary_counts(100))
+        assert 0.5 <= fraction <= 0.85
+
+    def test_bodies_contain_keywords(self):
+        corpus = generate_corpus(num_documents=50, vocabulary_size=20, seed=4)
+        doc = next(d for d in corpus.documents if d.keywords)
+        for word in doc.keywords:
+            assert word in doc.body
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_corpus(num_documents=0)
+        with pytest.raises(WorkloadError):
+            generate_corpus(max_doc_fraction=0)
+
+
+class TestCustomers:
+    def test_deterministic(self):
+        assert generate_customers(50, seed=1) == generate_customers(50, seed=1)
+
+    def test_ids_sequential(self):
+        rows = generate_customers(10)
+        assert [r.customer_id for r in rows] == list(range(1, 11))
+
+    def test_insert_statements_batched(self):
+        rows = generate_customers(120)
+        statements = customer_insert_statements(rows, batch_size=50)
+        assert len(statements) == 3
+        assert all(s.startswith("INSERT INTO customers") for s in statements)
+
+    def test_statements_executable(self):
+        from repro.server import MySQLServer
+        from repro.workloads.tables import CUSTOMERS_DDL
+
+        server = MySQLServer()
+        session = server.connect()
+        server.execute(session, CUSTOMERS_DDL)
+        for statement in customer_insert_statements(generate_customers(30)):
+            server.execute(session, statement)
+        result = server.execute(session, "SELECT count(*) FROM customers")
+        assert result.rows == ((30,),)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_customers(0)
+        with pytest.raises(WorkloadError):
+            customer_insert_statements(generate_customers(5), batch_size=0)
+
+
+class TestQueries:
+    def test_uniform_ranges_ordered(self):
+        for low, high in uniform_range_queries(100, domain_bits=16, seed=1):
+            assert 0 <= low <= high < (1 << 16)
+
+    def test_deterministic(self):
+        assert uniform_range_queries(10, seed=5) == uniform_range_queries(10, seed=5)
+
+    def test_zipf_frequencies_normalized(self):
+        model = zipf_frequencies([1, 2, 3, 4])
+        assert abs(sum(model.values()) - 1.0) < 1e-9
+        assert model[1] > model[4]
+
+    def test_zipf_point_queries_skewed(self):
+        values = list(range(20))
+        queries = zipf_point_queries(values, 2000, seed=0)
+        from collections import Counter
+
+        counts = Counter(queries)
+        assert counts[0] > counts[19]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_frequencies([])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_range_queries(-1)
+        with pytest.raises(WorkloadError):
+            zipf_point_queries([1], -1)
