@@ -1,6 +1,5 @@
 """E2 — redo/undo retention window ("16 days' worth of inserts")."""
 
-import pytest
 
 from repro.experiments import run_log_retention
 

@@ -6,7 +6,6 @@ distinct memory locations, the random marker string in 3 more, for both the
 column-name and WHERE-parameter variants.
 """
 
-import pytest
 
 from repro.experiments import run_memory_residue
 

@@ -30,6 +30,7 @@ from .errors import ReproError
 from .server import MySQLServer, QueryResult, ServerConfig, Session
 from .snapshot import AttackScenario, Snapshot, StateQuadrant, capture
 from .memory import MemoryDump
+from .obs import Instrumentation
 from .replication import ReplicatedDeployment
 
 __version__ = "1.0.0"
@@ -46,6 +47,7 @@ __all__ = [
     "Snapshot",
     "capture",
     "MemoryDump",
+    "Instrumentation",
     "ReplicatedDeployment",
     "__version__",
 ]

@@ -12,7 +12,7 @@ recovers roughly ``log2(n)`` high-order bits per value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 from ..errors import AttackError
 

@@ -13,7 +13,7 @@ join columns), SPLASHE digest histograms, Arx node-visit frequencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple, TypeVar
+from typing import Dict, Hashable, Mapping, TypeVar
 
 from ..errors import AttackError
 

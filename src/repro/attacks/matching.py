@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Hashable, Mapping, Optional
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment

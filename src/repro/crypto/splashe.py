@@ -28,8 +28,8 @@ value of a specific row, not just column statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import CryptoError
 from .ashe import AsheCipher, AsheCiphertext

@@ -19,7 +19,7 @@ attacker would have had.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto.primitives import derive_key

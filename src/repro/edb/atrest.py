@@ -14,11 +14,10 @@ the simulated process heap, so any memory-level snapshot recovers it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..crypto.symmetric import RndCipher
 from ..errors import EDBError
-from ..memory import SimulatedHeap
 from ..server import MySQLServer
 
 

@@ -17,7 +17,7 @@ or tag in statement text that persists in the history, cache, and heap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..crypto.primitives import Prf, derive_key
 from ..crypto.symmetric import DetCipher, RndCipher

@@ -15,7 +15,7 @@ histogram to any snapshot.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..crypto.primitives import derive_key
 from ..crypto.symmetric import DetCipher, RndCipher

@@ -16,7 +16,7 @@ data". The recovery itself (bit-leakage aggregation) is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..crypto.ore_lewi_wu import (
     LewiWuLeftCiphertext,

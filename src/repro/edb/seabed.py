@@ -16,7 +16,7 @@ The table layout mirrors Seabed's (paper §6 / OSDI 2016):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..crypto.ashe import AsheCipher
 from ..crypto.primitives import derive_key

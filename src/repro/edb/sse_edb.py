@@ -18,7 +18,7 @@ exactly which documents contain the keyword.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List
 
 from ..crypto.primitives import Prf, derive_key
 from ..crypto.symmetric import RndCipher

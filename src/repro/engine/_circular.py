@@ -25,10 +25,17 @@ class CircularLog(Generic[RecordT]):
     is exceeded (the "circular" behaviour).
     """
 
-    def __init__(self, capacity_bytes: int, lsn: LsnCounter) -> None:
+    def __init__(
+        self, capacity_bytes: int, lsn: LsnCounter, instrumentation=None
+    ) -> None:
         if capacity_bytes <= 0:
             raise LogError(f"log capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
+        if instrumentation is None:
+            from ..obs.instrumentation import NO_OP_INSTRUMENTATION
+
+            instrumentation = NO_OP_INSTRUMENTATION
+        self._obs = instrumentation
         self._lsn = lsn
         self._entries: Deque[Tuple[int, bytes, RecordT]] = deque()
         self._used_bytes = 0

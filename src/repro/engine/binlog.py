@@ -14,7 +14,7 @@ have aged out of the binlog.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..errors import LogError
 

@@ -13,12 +13,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..clock import SimClock
 from ..errors import EngineError, TransactionError
+from ..obs.instrumentation import NO_OP_INSTRUMENTATION
 from ..storage import BTree, BufferPool, Tablespace
 from ..storage.btree import AccessPath
 from .binlog import Binlog
 from .lsn import LsnCounter
 from .redo_log import DEFAULT_CAPACITY, RedoLog, RedoRecord
-from .transaction import Transaction, TransactionState
+from .transaction import Transaction
 from .undo_log import UndoLog, UndoRecord
 
 
@@ -46,6 +47,10 @@ class StorageEngine:
         Production deployments enable it; default mirrors MySQL (off).
     btree_fanout:
         Split threshold of the per-table B+ trees.
+    instrumentation:
+        Observability handle (:mod:`repro.obs`); storage operations and log
+        appends emit spans/counters through it. Defaults to the shared
+        no-op handle, which keeps the hot paths allocation-free.
     """
 
     def __init__(
@@ -56,13 +61,15 @@ class StorageEngine:
         undo_capacity: int = DEFAULT_CAPACITY,
         binlog_enabled: bool = False,
         btree_fanout: int = 64,
+        instrumentation=None,
     ) -> None:
         self.clock = clock or SimClock()
+        self.obs = instrumentation or NO_OP_INSTRUMENTATION
         self.lsn = LsnCounter()
-        self.redo_log = RedoLog(redo_capacity, self.lsn)
-        self.undo_log = UndoLog(undo_capacity, self.lsn)
+        self.redo_log = RedoLog(redo_capacity, self.lsn, instrumentation=self.obs)
+        self.undo_log = UndoLog(undo_capacity, self.lsn, instrumentation=self.obs)
         self.binlog = Binlog(enabled=binlog_enabled)
-        self.buffer_pool = BufferPool(buffer_pool_capacity)
+        self.buffer_pool = BufferPool(buffer_pool_capacity, instrumentation=self.obs)
         self._btree_fanout = btree_fanout
         self._tables: Dict[str, Tuple[Tablespace, BTree]] = {}
         self._next_space_id = 1
@@ -133,7 +140,9 @@ class StorageEngine:
     def insert(self, txn: Transaction, table: str, key: int, row: bytes) -> AccessPath:
         """Insert a row, logging redo (after) and undo (empty before)."""
         _, tree = self._lookup(table)
-        path = tree.insert(key, row)
+        with self.obs.span("storage.insert", table=table):
+            path = tree.insert(key, row)
+        self.obs.count("engine.rows_written", label=table)
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.INSERT.value, key, b"")
         )
@@ -146,7 +155,9 @@ class StorageEngine:
     def update(self, txn: Transaction, table: str, key: int, row: bytes) -> AccessPath:
         """Update a row, logging before- and after-images."""
         _, tree = self._lookup(table)
-        before, path = tree.update(key, row)
+        with self.obs.span("storage.update", table=table):
+            before, path = tree.update(key, row)
+        self.obs.count("engine.rows_written", label=table)
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.UPDATE.value, key, before)
         )
@@ -159,7 +170,9 @@ class StorageEngine:
     def delete(self, txn: Transaction, table: str, key: int) -> AccessPath:
         """Delete a row, logging its before-image."""
         _, tree = self._lookup(table)
-        before, path = tree.delete(key)
+        with self.obs.span("storage.delete", table=table):
+            before, path = tree.delete(key)
+        self.obs.count("engine.rows_written", label=table)
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.DELETE.value, key, before)
         )
@@ -174,14 +187,20 @@ class StorageEngine:
     def get(self, table: str, key: int) -> Tuple[Optional[bytes], AccessPath]:
         """Point lookup through the clustered index (touches the pool)."""
         _, tree = self._lookup(table)
-        return tree.get(key)
+        with self.obs.span("storage.get", table=table):
+            result = tree.get(key)
+        self.obs.count("engine.rows_read", label=table)
+        return result
 
     def range(
         self, table: str, low: Optional[int], high: Optional[int]
     ) -> Tuple[List[Tuple[int, bytes]], AccessPath]:
         """Range scan through the clustered index (touches the pool)."""
         _, tree = self._lookup(table)
-        return tree.range(low, high)
+        with self.obs.span("storage.range", table=table):
+            entries, path = tree.range(low, high)
+        self.obs.count("engine.rows_read", n=len(entries), label=table)
+        return entries, path
 
     def scan(self, table: str) -> List[Tuple[int, bytes]]:
         """Full scan via the maintenance path (no buffer-pool touches)."""
@@ -191,4 +210,7 @@ class StorageEngine:
     def full_scan(self, table: str) -> Tuple[List[Tuple[int, bytes]], AccessPath]:
         """Full scan as query execution does it: touches every page."""
         _, tree = self._lookup(table)
-        return tree.range(None, None)
+        with self.obs.span("storage.scan", table=table):
+            entries, path = tree.range(None, None)
+        self.obs.count("engine.rows_read", n=len(entries), label=table)
+        return entries, path

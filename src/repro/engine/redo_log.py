@@ -80,10 +80,17 @@ class RedoLog(CircularLog[RedoRecord]):
     """Circular redo log with byte-capacity retention."""
 
     def __init__(
-        self, capacity_bytes: int = DEFAULT_CAPACITY, lsn: Optional[LsnCounter] = None
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY,
+        lsn: Optional[LsnCounter] = None,
+        instrumentation=None,
     ) -> None:
-        super().__init__(capacity_bytes, lsn or LsnCounter())
+        super().__init__(capacity_bytes, lsn or LsnCounter(), instrumentation)
 
     def log(self, record: RedoRecord) -> int:
         """Append ``record``; returns its LSN."""
-        return self._append(record.to_bytes(), record)
+        raw = record.to_bytes()
+        with self._obs.span("log.append", table=record.table, detail="redo"):
+            lsn = self._append(raw, record)
+        self._obs.count("redo.appended_bytes", n=len(raw))
+        return lsn

@@ -92,6 +92,10 @@ class EDBError(ReproError):
     """Base class for encrypted-database-layer errors."""
 
 
+class ObsError(ReproError):
+    """Raised by the observability layer on invalid configuration or use."""
+
+
 class SnapshotError(ReproError):
     """Raised when a snapshot scenario is asked for state it cannot see."""
 

@@ -10,7 +10,7 @@ the two agree).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..server import MySQLServer, ServerConfig
 from ..snapshot import AttackScenario, capture

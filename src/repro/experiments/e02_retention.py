@@ -19,7 +19,6 @@ paper's 50 MB alongside the paper's own 16-day figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from ..clock import SimClock
 from ..forensics import reconstruct_modifications

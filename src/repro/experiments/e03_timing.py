@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..clock import SimClock
 from ..forensics import (
     fit_lsn_timestamp_model,
     reconstruct_modifications,
 )
-from ..server import MySQLServer, ServerConfig
+from ..server import MySQLServer
 from ..snapshot import AttackScenario, capture
 
 

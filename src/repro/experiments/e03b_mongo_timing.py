@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..clock import SimClock
 from ..mongo import DocumentStore, creation_times_from_ids

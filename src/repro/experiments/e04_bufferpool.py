@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Tuple
 
 from ..forensics import infer_access_paths
 from ..server import MySQLServer, ServerConfig

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..server import MySQLServer, ServerConfig
 from ..snapshot import AttackScenario, capture

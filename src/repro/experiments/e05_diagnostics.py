@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..forensics import extract_diagnostics_via_injection
 from ..server import MySQLServer, ServerConfig

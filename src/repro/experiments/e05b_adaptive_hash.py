@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from ..attacks import frequency_analysis
 from ..crypto.symmetric import RndCipher

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 from ..errors import CatalogError
 from ..forensics import scan_for_query

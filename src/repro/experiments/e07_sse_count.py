@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Optional
 
 from ..attacks import count_attack
 from ..attacks.count_attack import document_recovery
 from ..edb import SearchableEdb
 from ..forensics.memory_scan import scan_for_tokens
-from ..server import MySQLServer
+from ..server import MySQLServer, ServerConfig
 from ..snapshot import AttackScenario, capture
 from ..workloads import generate_corpus
 
@@ -52,6 +52,7 @@ def run_sse_count_attack(
     top_k: int = 60,
     num_searches: int = 25,
     seed: int = 0,
+    config: Optional[ServerConfig] = None,
 ) -> SseCountResult:
     """Run the full pipeline: EDB -> searches -> snapshot -> count attack.
 
@@ -64,7 +65,7 @@ def run_sse_count_attack(
     corpus = generate_corpus(
         num_documents=num_documents, vocabulary_size=vocabulary_size, seed=seed
     )
-    server = MySQLServer()
+    server = MySQLServer(config)
     session = server.connect("edb-client")
     edb = SearchableEdb(server, session, b"sse-experiment-key-0123456789ab!")
     for doc in corpus.documents:

@@ -23,7 +23,7 @@ import random
 import re
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
 from ..attacks import frequency_analysis
 from ..edb import SeabedEdb

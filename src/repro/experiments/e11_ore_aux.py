@@ -22,7 +22,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..attacks import binomial_attack, matching_attack
+from ..attacks import binomial_attack
 from ..workloads import zipf_frequencies
 
 #: Distinct plaintext candidates in the demo column's domain.

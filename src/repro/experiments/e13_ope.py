@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List
 
 from ..attacks.sorting import sorting_attack
 from ..crypto.ope import OpeCipher

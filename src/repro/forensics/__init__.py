@@ -11,6 +11,9 @@
   (paper §5).
 * :mod:`.diagnostics` — SQL-injection extraction of the diagnostic tables
   (paper §4).
+* :mod:`.obs_trace` — query digests and per-table access counts recovered
+  from the observability trace store, including carving of evicted span
+  residue out of memory dumps (new surface; same pattern as §4/§5).
 """
 
 from .redo_undo import (
@@ -24,6 +27,14 @@ from .binlog_reader import LsnTimestampModel, fit_lsn_timestamp_model, read_binl
 from .buffer_pool_dump import InferredAccessPath, infer_access_paths, parse_dump_text
 from .memory_scan import MemoryResidueReport, scan_for_query, scan_for_tokens
 from .diagnostics import DiagnosticsReport, extract_diagnostics_via_injection
+from .obs_trace import (
+    ObsTraceReport,
+    carve_spans,
+    extract_trace_report,
+    parse_trace_store,
+    recover_query_digests,
+    recover_table_access_counts,
+)
 
 __all__ = [
     "ModificationEvent",
@@ -42,4 +53,10 @@ __all__ = [
     "scan_for_tokens",
     "DiagnosticsReport",
     "extract_diagnostics_via_injection",
+    "ObsTraceReport",
+    "carve_spans",
+    "extract_trace_report",
+    "parse_trace_store",
+    "recover_query_digests",
+    "recover_table_access_counts",
 ]

@@ -1,0 +1,109 @@
+"""Forensics over the observability trace store (paper §4/§5, new surface).
+
+The trace ring is one more diagnostic artifact that records past queries:
+every root span carries the statement's digest, and every storage span names
+the table it touched. This module recovers both **from the trace bytes
+alone** — no logs, no performance_schema — demonstrating that adding
+observability to an encrypted database re-opens exactly the channel the
+paper warns about.
+
+Two entry points:
+
+* :func:`parse_trace_store` walks the snapshot's ``obs_trace_raw`` artifact
+  (concatenated, self-delimiting span records).
+* :func:`carve_spans` scans arbitrary memory (e.g. a heap dump) for the span
+  magic, recovering records the ring already evicted — the store frees slots
+  without zeroing, so "deleted" telemetry persists as residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ForensicsError, RecordError
+from ..memory import MemoryDump
+from ..obs.tracer import SPAN_MAGIC, SpanRecord
+
+
+def parse_trace_store(raw: bytes) -> List[SpanRecord]:
+    """Parse the trace-store artifact into spans, oldest first."""
+    spans: List[SpanRecord] = []
+    offset = 0
+    while offset < len(raw):
+        try:
+            record, offset = SpanRecord.from_bytes(raw, offset)
+        except RecordError as exc:
+            raise ForensicsError(f"malformed trace store: {exc}") from exc
+        spans.append(record)
+    return spans
+
+
+def carve_spans(data: bytes) -> List[SpanRecord]:
+    """Carve span records out of raw memory (tolerates partial overwrites).
+
+    Finds every occurrence of the span magic and attempts a parse; corrupted
+    candidates (clobbered by a later allocation) are skipped. This recovers
+    spans the ring evicted, because eviction frees without zeroing.
+    """
+    if isinstance(data, MemoryDump):
+        data = data.data
+    spans: List[SpanRecord] = []
+    offset = data.find(SPAN_MAGIC)
+    while offset != -1:
+        try:
+            record, _ = SpanRecord.from_bytes(data, offset)
+        except RecordError:
+            pass
+        else:
+            spans.append(record)
+        offset = data.find(SPAN_MAGIC, offset + 1)
+    return spans
+
+
+def recover_query_digests(spans: Iterable[SpanRecord]) -> Dict[str, int]:
+    """Digest -> occurrence count, from root (``query``) spans alone.
+
+    The digest identifies the statement's canonical "query type" — the same
+    quantity ``events_statements_summary_by_digest`` leaks (§4), recovered
+    here without touching performance_schema.
+    """
+    digests: Dict[str, int] = {}
+    for span in spans:
+        if span.is_root and span.name == "query" and span.detail:
+            digests[span.detail] = digests.get(span.detail, 0) + 1
+    return digests
+
+
+def recover_table_access_counts(spans: Iterable[SpanRecord]) -> Dict[str, int]:
+    """Table -> access count, from storage/log spans' table attributes."""
+    counts: Dict[str, int] = {}
+    for span in spans:
+        if span.table and span.name.startswith("storage."):
+            counts[span.table] = counts.get(span.table, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ObsTraceReport:
+    """Everything the trace artifact yields to a snapshot attacker."""
+
+    num_spans: int
+    num_traces: int
+    query_digests: Dict[str, int]
+    table_access_counts: Dict[str, int]
+    query_durations: Tuple[float, ...]
+
+
+def extract_trace_report(raw: bytes) -> ObsTraceReport:
+    """Run the full extraction over a trace-store artifact."""
+    spans = parse_trace_store(raw)
+    return ObsTraceReport(
+        num_spans=len(spans),
+        num_traces=len({span.trace_id for span in spans}),
+        query_digests=recover_query_digests(spans),
+        table_access_counts=recover_table_access_counts(spans),
+        query_durations=tuple(
+            span.duration for span in spans if span.is_root and span.name == "query"
+        ),
+    )

@@ -9,7 +9,7 @@ log disabled leaks its insertion timeline through the ``_id`` index.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from ..errors import ReproError
 

@@ -13,8 +13,8 @@ surfaces (paper §3/§4 analogs):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..clock import SimClock
 from ..errors import ReproError

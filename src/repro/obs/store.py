@@ -1,0 +1,87 @@
+"""Bounded-memory trace store with no secure deletion.
+
+The store keeps the most recent ``capacity`` records — when fed by the
+:class:`.tracer.Tracer`, one record is one query's whole span tree — each in
+its own block of the simulated process heap. When the ring is full, the
+oldest record's block is *freed, not zeroed* — exactly the engine's memory
+model (:mod:`repro.memory.heap`) — so evicted spans persist as residue in any
+memory dump until the allocator happens to reuse a block of the same size.
+The bounded structured view plus unbounded byte residue mirrors how real
+trace buffers (and MySQL's own history tables) leak beyond their nominal
+retention window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ..errors import ObsError
+from ..memory import SimulatedHeap
+
+
+class TraceStore:
+    """Ring of heap-resident serialized span records.
+
+    Parameters
+    ----------
+    heap:
+        The simulated process heap records live in; pass the server's heap so
+        spans show up in process memory dumps.
+    capacity:
+        Maximum retained records (must be positive). Appends beyond it evict
+        the oldest record — freeing its heap block without zeroing.
+    """
+
+    def __init__(self, heap: SimulatedHeap, capacity: int) -> None:
+        if capacity <= 0:
+            raise ObsError(f"trace store capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._heap = heap
+        self._slots: Deque[Tuple[int, int]] = deque()  # (addr, size), oldest first
+        self._total_appended = 0
+        self._total_evicted = 0
+
+    def append(self, payload: bytes) -> int:
+        """Store one serialized record; returns its heap address."""
+        if len(self._slots) >= self.capacity:
+            old_addr, _ = self._slots.popleft()
+            self._heap.free(old_addr)  # bytes persist (no secure deletion)
+            self._total_evicted += 1
+        addr = self._heap.alloc_bytes(payload, tag="obs/span")
+        self._slots.append((addr, len(payload)))
+        self._total_appended += 1
+        return addr
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_records(self) -> int:
+        return len(self._slots)
+
+    @property
+    def total_appended(self) -> int:
+        return self._total_appended
+
+    @property
+    def total_evicted(self) -> int:
+        return self._total_evicted
+
+    def raw_records(self) -> List[bytes]:
+        """Retained records' bytes, oldest first."""
+        return [self._heap.read(addr, size) for addr, size in self._slots]
+
+    def raw_bytes(self) -> bytes:
+        """The retained ring as one byte string (the snapshot artifact).
+
+        Records are simply concatenated: each starts with the span magic and
+        is self-delimiting, so the forensic parser walks them directly.
+        """
+        return b"".join(self.raw_records())
+
+    def clear(self) -> None:
+        """Drop the structured view; record bytes stay in the heap (residue)."""
+        while self._slots:
+            addr, _ = self._slots.popleft()
+            self._heap.free(addr)
+            self._total_evicted += 1

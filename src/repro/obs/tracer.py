@@ -1,0 +1,246 @@
+"""Per-query span tracer.
+
+Each statement produces a tree of spans — ``query`` at the root, with
+``parse``, ``execute``, ``plan``, ``storage.*``, and ``log.append`` children
+— timestamped from :class:`repro.clock.SimClock` (the simulated time source
+every other artifact uses, so trace timestamps correlate with binlog and
+query-log entries).
+
+Finished spans are serialized eagerly but buffered until their root closes;
+the completed trace is then appended to the :class:`.store.TraceStore` as one
+record (the batch-per-trace export every production tracer performs, and the
+reason one ring slot holds one query). Every span starts with
+:data:`SPAN_MAGIC` so forensic carving can find span records in raw memory
+(including *evicted* ones — the store frees slots without zeroing, exactly
+like the rest of the engine).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import SimClock
+from ..errors import ObsError, RecordError
+from ..util.serialization import (
+    decode_str,
+    encode_str,
+    encode_uint,
+    read_uint,
+)
+from .metrics import MetricsRegistry
+from .store import TraceStore
+
+#: Serialization prefix of every span record; forensic carvers key on it.
+SPAN_MAGIC = b"SPN1"
+
+#: Fixed span header: trace_id, span_id, parent_id, started_us, duration_us
+#: as little-endian u64 — byte-identical to five ``encode_uint(..., 8)``.
+_HEADER = struct.Struct("<5Q")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span as stored in the trace ring.
+
+    ``parent_id`` is 0 for a root (per-query) span. Times are simulated
+    seconds; serialization stores them as integer microseconds.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    name: str
+    table: str = ""
+    detail: str = ""
+    started_at: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id == 0
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                SPAN_MAGIC,
+                encode_uint(self.trace_id, 8),
+                encode_uint(self.span_id, 8),
+                encode_uint(self.parent_id, 8),
+                encode_uint(round(self.started_at * 1e6), 8),
+                encode_uint(round(self.duration * 1e6), 8),
+                encode_str(self.name),
+                encode_str(self.table),
+                encode_str(self.detail),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> Tuple["SpanRecord", int]:
+        """Parse one record at ``offset``; returns ``(record, new_offset)``."""
+        if data[offset : offset + 4] != SPAN_MAGIC:
+            raise RecordError(f"no span magic at offset {offset}")
+        offset += 4
+        trace_id, offset = read_uint(data, offset, 8)
+        span_id, offset = read_uint(data, offset, 8)
+        parent_id, offset = read_uint(data, offset, 8)
+        started_us, offset = read_uint(data, offset, 8)
+        duration_us, offset = read_uint(data, offset, 8)
+        name, offset = decode_str(data, offset)
+        table, offset = decode_str(data, offset)
+        detail, offset = decode_str(data, offset)
+        return (
+            cls(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                table=table,
+                detail=detail,
+                started_at=started_us / 1e6,
+                duration=duration_us / 1e6,
+            ),
+            offset,
+        )
+
+
+class _ActiveSpan:
+    """An open span: mutable scratch state until :meth:`Tracer.finish`."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "table", "detail",
+                 "started_at")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: int, name: str,
+                 table: str, detail: str, started_at: float) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.table = table
+        self.detail = detail
+        self.started_at = started_at
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: _ActiveSpan) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> _ActiveSpan:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.finish(self._span)
+
+
+class Tracer:
+    """Builds span trees from begin/finish calls and a LIFO open-span stack.
+
+    Parent/child linkage is implicit: a span begun while another is open
+    becomes its child. Finished spans are serialized into ``store`` and
+    counted in ``metrics`` (root spans also feed the ``query.duration_us``
+    histogram).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        store: TraceStore,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.clock = clock
+        self.store = store
+        self.metrics = metrics
+        self._stack: List[_ActiveSpan] = []
+        self._next_trace_id = 1
+        self._next_span_id = 1
+        # Length-prefixed-UTF8 encodings of recurring strings (span names,
+        # table names, statement digests). Serialization dominates the
+        # per-span cost, and the working set of distinct strings is tiny.
+        self._str_cache: Dict[str, bytes] = {}
+        # Finished spans of the in-flight trace, buffered until the root
+        # closes; the whole trace is then appended to the ring as one
+        # record (the batch-per-trace export every real tracer does).
+        self._pending: List[bytes] = []
+        # Pre-resolved root-duration histogram (skips per-query lookup).
+        self._query_hist = (
+            metrics.histogram("query.duration_us") if metrics is not None else None
+        )
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def begin(self, name: str, table: str = "", detail: str = "") -> _ActiveSpan:
+        """Open a span; it becomes the parent of later begins until finished."""
+        if self._stack:
+            parent = self._stack[-1]
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = 0
+        span = _ActiveSpan(
+            trace_id, self._next_span_id, parent_id, name, table, detail,
+            self.clock.now,
+        )
+        self._next_span_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: _ActiveSpan, detail: Optional[str] = None) -> None:
+        """Close ``span`` (and any forgotten children above it on the stack)."""
+        if span not in self._stack:
+            raise ObsError(f"span {span.name!r} is not open")
+        while self._stack:  # unwind abandoned children, the span itself last
+            top = self._stack.pop()
+            if top is span:
+                break
+            self._record(top, top.detail)
+        self._record(span, span.detail if detail is None else detail)
+        if not self._stack:
+            self.store.append(b"".join(self._pending))
+            self._pending.clear()
+
+    def span(self, name: str, table: str = "", detail: str = "") -> _SpanContext:
+        """``with tracer.span("parse"):`` — begin/finish around a block."""
+        return _SpanContext(self, self.begin(name, table, detail))
+
+    def _encode_str(self, text: str) -> bytes:
+        """Length-prefixed UTF-8, memoized (same wire form as encode_str)."""
+        cached = self._str_cache.get(text)
+        if cached is None:
+            cached = encode_str(text)
+            if len(self._str_cache) < 4096:
+                self._str_cache[text] = cached
+        return cached
+
+    def _record(self, span: _ActiveSpan, detail: str) -> None:
+        """Serialize the span straight from its scratch state (hot path)."""
+        started_at = span.started_at
+        duration = self.clock.now - started_at
+        self._pending.append(
+            SPAN_MAGIC
+            + _HEADER.pack(
+                span.trace_id,
+                span.span_id,
+                span.parent_id,
+                round(started_at * 1e6),
+                round(duration * 1e6),
+            )
+            + self._encode_str(span.name)
+            + self._encode_str(span.table)
+            + self._encode_str(detail)
+        )
+        if self.metrics is not None:
+            self.metrics.inc("obs.spans", label=span.name)
+            if span.parent_id == 0:
+                self._query_hist.observe(duration * 1e6)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)

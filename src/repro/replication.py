@@ -25,8 +25,6 @@ from typing import List, Optional
 from .clock import SimClock
 from .errors import ReproError
 from .server import MySQLServer, QueryResult, ServerConfig, Session
-from .sql import parse
-from .sql.ast import is_write, CreateTable
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ leaves behind every artifact the paper catalogs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..clock import SimClock
@@ -30,7 +30,9 @@ from ..errors import (
     StorageError,
 )
 from ..memory import SimulatedHeap
+from ..obs import Instrumentation
 from ..sql import parse
+from ..sql.digest import digest as compute_digest
 from ..sql.ast import (
     BeginTxn,
     CommitTxn,
@@ -40,7 +42,6 @@ from ..sql.ast import (
     Literal,
     RollbackTxn,
     Select,
-    Statement,
     Update,
 )
 from ..sql.lexer import TokenType, tokenize
@@ -52,6 +53,7 @@ from .catalog import Catalog, TableSchema
 from .executor import (
     aggregate_grouped,
     aggregate_rows,
+    filter_rows,
     project,
     result_columns,
     validate_select,
@@ -91,6 +93,8 @@ class ServerConfig:
     ahi_threshold: int = 16
     base_cost_seconds: float = 1e-4
     row_cost_seconds: float = 1e-6
+    obs_enabled: bool = False
+    obs_trace_capacity: int = 512
 
 
 @dataclass(frozen=True)
@@ -119,6 +123,15 @@ class MySQLServer:
         self.config = config or ServerConfig()
         self.clock = clock or SimClock()
         self.heap = SimulatedHeap(secure_delete=self.config.secure_delete)
+        # Observability: spans/metrics for every statement when enabled.
+        # The trace ring allocates from the server heap, so span records
+        # (and their eviction residue) are part of any memory dump.
+        self.obs = Instrumentation(
+            enabled=self.config.obs_enabled,
+            clock=self.clock,
+            heap=self.heap,
+            trace_capacity=self.config.obs_trace_capacity,
+        )
         self.engine = StorageEngine(
             clock=self.clock,
             buffer_pool_capacity=self.config.buffer_pool_capacity,
@@ -126,6 +139,7 @@ class MySQLServer:
             undo_capacity=self.config.undo_capacity,
             binlog_enabled=self.config.binlog_enabled,
             btree_fanout=self.config.btree_fanout,
+            instrumentation=self.obs,
         )
         self.catalog = Catalog()
         self.general_log = GeneralQueryLog(enabled=self.config.general_log_enabled)
@@ -187,26 +201,29 @@ class MySQLServer:
         timestamp = self.clock.timestamp()
         session.begin_statement(sql, timestamp)
         self._spill_statement_strings(session, sql)
+        query_span = self.obs.begin_span("query")
         try:
-            stmt = parse(sql)
-            if isinstance(stmt, Select):
-                result = self._execute_select(session, stmt)
-            elif isinstance(stmt, Insert):
-                result = self._execute_insert(session, stmt)
-            elif isinstance(stmt, Update):
-                result = self._execute_update(session, stmt)
-            elif isinstance(stmt, Delete):
-                result = self._execute_delete(session, stmt)
-            elif isinstance(stmt, CreateTable):
-                result = self._execute_create(stmt)
-            elif isinstance(stmt, BeginTxn):
-                result = self._execute_begin(session, stmt)
-            elif isinstance(stmt, CommitTxn):
-                result = self._execute_commit(session, stmt)
-            elif isinstance(stmt, RollbackTxn):
-                result = self._execute_rollback(session, stmt)
-            else:  # pragma: no cover - parse() only returns the above
-                raise ServerError(f"unhandled statement {type(stmt).__name__}")
+            with self.obs.span("parse"):
+                stmt = parse(sql)
+            with self.obs.span("execute", detail=type(stmt).__name__):
+                if isinstance(stmt, Select):
+                    result = self._execute_select(session, stmt)
+                elif isinstance(stmt, Insert):
+                    result = self._execute_insert(session, stmt)
+                elif isinstance(stmt, Update):
+                    result = self._execute_update(session, stmt)
+                elif isinstance(stmt, Delete):
+                    result = self._execute_delete(session, stmt)
+                elif isinstance(stmt, CreateTable):
+                    result = self._execute_create(stmt)
+                elif isinstance(stmt, BeginTxn):
+                    result = self._execute_begin(session, stmt)
+                elif isinstance(stmt, CommitTxn):
+                    result = self._execute_commit(session, stmt)
+                elif isinstance(stmt, RollbackTxn):
+                    result = self._execute_rollback(session, stmt)
+                else:  # pragma: no cover - parse() only returns the above
+                    raise ServerError(f"unhandled statement {type(stmt).__name__}")
         except Exception:
             # Failed statements still leave their trace (MySQL instruments
             # errored statements too), then surface the error. The session
@@ -216,15 +233,21 @@ class MySQLServer:
                     session, sql, timestamp, rows_examined=0, rows_sent=0
                 )
             finally:
+                self.obs.end_span(query_span, detail="error")
+                self.obs.count("server.errors")
                 session.abort_statement()
             raise
-        duration = self._account_statement(
+        duration, digest_value = self._account_statement(
             session,
             sql,
             timestamp,
             rows_examined=result.rows_examined,
             rows_sent=result.rows_sent,
         )
+        # The root span closes after accounting so its duration covers the
+        # whole statement; its detail is the digest — the "query type"
+        # identifier the trace-store forensics recovers.
+        self.obs.end_span(query_span, detail=digest_value)
         session.end_statement()
         return QueryResult(
             statement=result.statement,
@@ -261,8 +284,13 @@ class MySQLServer:
         timestamp: int,
         rows_examined: int,
         rows_sent: int,
-    ) -> float:
-        """Clock, logs, and performance-schema bookkeeping for a statement."""
+    ) -> Tuple[float, str]:
+        """Clock, logs, and performance-schema bookkeeping for a statement.
+
+        Returns ``(duration, digest)``; the digest comes for free from the
+        performance-schema event (computed once), or is computed directly
+        when only the observability layer wants it.
+        """
         duration = (
             self.config.base_cost_seconds
             + rows_examined * self.config.row_cost_seconds
@@ -277,7 +305,8 @@ class MySQLServer:
         )
         self.general_log.log(entry)
         self.slow_log.log(entry)
-        self.perf_schema.record_statement(
+        self.obs.count("server.statements")
+        event = self.perf_schema.record_statement(
             thread_id=session.session_id,
             sql_text=sql,
             timestamp=timestamp,
@@ -285,7 +314,13 @@ class MySQLServer:
             rows_examined=rows_examined,
             rows_sent=rows_sent,
         )
-        return duration
+        if event is not None:
+            digest_value = event.digest
+        elif self.obs.enabled:
+            digest_value = compute_digest(sql)
+        else:
+            digest_value = ""
+        return duration, digest_value
 
     # -- SELECT ---------------------------------------------------------------------
 
@@ -316,11 +351,9 @@ class MySQLServer:
                 for value in _condition_literals(cond):
                     session.query_arena.alloc_str(value)
 
-        matching = [
-            row
-            for row in candidate_rows
-            if where_matches(schema, row, stmt.where, self._udfs)
-        ]
+        matching = filter_rows(
+            schema, candidate_rows, stmt.where, self._udfs, instr=self.obs
+        )
         if stmt.order_by is not None:
             order_idx = schema.column_index(stmt.order_by)
             matching.sort(key=lambda r: (r[order_idx] is None, r[order_idx]))
@@ -351,7 +384,8 @@ class MySQLServer:
         self, schema: TableSchema, stmt: Select
     ) -> Tuple[List[Row], int]:
         """Fetch rows via the planned access path, touching the buffer pool."""
-        plan = plan_select(stmt, schema.primary_key)
+        with self.obs.span("plan", table=schema.name):
+            plan = plan_select(stmt, schema.primary_key)
         if plan.kind is PlanKind.PK_LOOKUP:
             assert plan.key_equal is not None
             payload, _ = self.engine.get(schema.name, plan.key_equal)
@@ -372,9 +406,7 @@ class MySQLServer:
     def _execute_virtual_select(self, stmt: Select) -> QueryResult:
         schema, rows = self._virtual_table(stmt.table)
         validate_select(schema, stmt)
-        matching = [
-            row for row in rows if where_matches(schema, row, stmt.where, self._udfs)
-        ]
+        matching = filter_rows(schema, rows, stmt.where, self._udfs, instr=self.obs)
         if stmt.order_by is not None:
             idx = schema.column_index(stmt.order_by)
             matching.sort(key=lambda r: (r[idx] is None, r[idx]))

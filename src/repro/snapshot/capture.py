@@ -9,8 +9,8 @@ threat model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..errors import SnapshotError
 from ..memory import MemoryDump
@@ -51,6 +51,13 @@ class Snapshot:
     adaptive_hash_hot_keys: Optional[Tuple[HotKey, ...]] = None
     live_buffer_pool: Optional[BufferPoolDump] = None
 
+    # -- observability layer (metrics are queryable; the trace ring is an
+    # -- internal structure like the heap). The trace is captured raw —
+    # -- parsing span records out of it is forensic work, done by
+    # -- :mod:`repro.forensics.obs_trace` on the attacker's time.
+    obs_metrics: Optional[Dict[str, float]] = None
+    obs_trace_raw: Optional[bytes] = None
+
     # -- checked accessors ----------------------------------------------------
 
     def _require(self, value, name: str):
@@ -74,6 +81,12 @@ class Snapshot:
 
     def require_digest_summaries(self) -> Tuple[DigestSummary, ...]:
         return self._require(self.digest_summaries, "digest summaries")
+
+    def require_obs_metrics(self) -> Dict[str, float]:
+        return self._require(self.obs_metrics, "observability metrics")
+
+    def require_obs_trace(self) -> bytes:
+        return self._require(self.obs_trace_raw, "the observability trace store")
 
     def has_quadrant(self, quadrant: StateQuadrant) -> bool:
         return quadrant in quadrants_for(self.scenario)
@@ -140,6 +153,13 @@ def capture(
             adaptive_hash_hot_keys=tuple(server.adaptive_hash.hot_keys()),
             live_buffer_pool=server.engine.buffer_pool.dump(),
         )
+        if server.obs.enabled:
+            # Metrics are a queryable diagnostic surface (think SHOW STATUS /
+            # a /metrics endpoint); the span ring buffer is an in-memory
+            # structure, withheld from un-escalated SQL injection like the
+            # heap it lives in.
+            diagnostic_kwargs["obs_metrics"] = server.obs.metrics_dump()
+            structure_kwargs["obs_trace_raw"] = server.obs.trace_raw()
         kwargs.update(diagnostic_kwargs)
         # The raw data structures (heap, query cache, AHI, live pool) are
         # "strictly internal to MySQL" (Section 5): SQL injection only gets

@@ -6,7 +6,7 @@ from typing import Dict, List, Tuple
 
 from ..memory import MemoryDump
 from .engine import MiniSparkCluster
-from .events import EventLog, SparkEvent
+from .events import EventLog
 
 
 def history_server_queries(event_log_jsonl: str) -> List[Tuple[int, int, str]]:

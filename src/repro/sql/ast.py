@@ -8,8 +8,8 @@ snapshot attacks exploit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 Literal = Union[int, str, bytes, None]
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 from typing import List
 
-from .lexer import Token, TokenType, tokenize
+from .lexer import TokenType, tokenize
 
 
 def canonicalize(sql: str) -> str:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Union
 
 from ..errors import LexerError
 

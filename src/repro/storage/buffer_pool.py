@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import BufferPoolError
 
@@ -65,10 +65,19 @@ class BufferPool:
 
     DEFAULT_CAPACITY = 8192
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        instrumentation=None,
+    ) -> None:
         if capacity <= 0:
             raise BufferPoolError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        if instrumentation is None:
+            from ..obs.instrumentation import NO_OP_INSTRUMENTATION
+
+            instrumentation = NO_OP_INSTRUMENTATION
+        self._obs = instrumentation
         # key -> (level, access_count); insertion order tracks recency
         # (last item = most recently used).
         self._pages: "OrderedDict[Tuple[int, int], Tuple[int, int]]" = OrderedDict()
@@ -85,11 +94,14 @@ class BufferPool:
             _, count = self._pages.pop(key)
             self._pages[key] = (level, count + 1)
             self._hits += 1
+            self._obs.count("buffer_pool.hits")
             return
         self._misses += 1
+        self._obs.count("buffer_pool.misses")
         if len(self._pages) >= self.capacity:
             self._pages.popitem(last=False)
             self._evictions += 1
+            self._obs.count("buffer_pool.evictions")
         self._pages[key] = (level, 1)
 
     def contains(self, space_id: int, page_id: int) -> bool:

@@ -13,7 +13,7 @@ little-endian two's complement; strings and blobs are 4-byte length-prefixed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from ..errors import RecordError
 from ..util.serialization import encode_uint, read_uint

@@ -8,7 +8,7 @@ so that access patterns leave the cache evidence the paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from ..errors import StorageError
 from .page import Page, PageType

@@ -15,8 +15,8 @@ regime the paper cites (the benchmark measures it explicitly).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..errors import WorkloadError
 

@@ -1,0 +1,155 @@
+"""Ring-buffer invariants: circular logs and the obs trace store.
+
+Both families of bounded buffers share the same forensic property: the
+*structured* view is bounded, but eviction destroys nothing by itself —
+circular logs overwrite only when new bytes arrive, and the trace store
+frees heap blocks without zeroing.
+"""
+
+import pytest
+
+from repro.engine.redo_log import RedoLog, RedoRecord
+from repro.engine.undo_log import UndoLog, UndoRecord
+from repro.errors import LogError, ObsError
+from repro.forensics import carve_spans
+from repro.memory import SimulatedHeap
+from repro.obs import SPAN_MAGIC, TraceStore
+
+
+def _redo(i, table="t", image=b"x" * 10):
+    return RedoRecord(txn_id=i, table=table, op="insert", key=i, after_image=image)
+
+
+class TestCircularLog:
+    def test_capacity_must_be_positive(self):
+        for capacity in (0, -1):
+            with pytest.raises(LogError):
+                RedoLog(capacity_bytes=capacity)
+            with pytest.raises(LogError):
+                UndoLog(capacity_bytes=capacity)
+
+    def test_oversized_record_rejected(self):
+        log = RedoLog(capacity_bytes=8)
+        with pytest.raises(LogError):
+            log.log(_redo(1))
+
+    def test_wraps_exactly_at_byte_capacity(self):
+        record = _redo(1)
+        size = len(record.to_bytes())
+        log = RedoLog(capacity_bytes=size * 3)  # room for exactly 3 records
+        for i in range(3):
+            log.log(_redo(i))
+        assert log.num_records == 3
+        assert log.total_evicted == 0
+        assert log.used_bytes == size * 3
+
+        log.log(_redo(3))  # one byte over -> oldest goes
+        assert log.num_records == 3
+        assert log.total_evicted == 1
+        assert log.used_bytes == size * 3
+        assert [r.txn_id for r in log.records()] == [1, 2, 3]
+
+    def test_lsn_strictly_increases_across_eviction(self):
+        record = _redo(1)
+        size = len(record.to_bytes())
+        log = UndoLog(capacity_bytes=size * 2)
+        lsns = [
+            log.log(
+                UndoRecord(
+                    txn_id=i, table="t", op="insert", key=i, before_image=b""
+                )
+            )
+            for i in range(6)
+        ]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)
+        assert log.oldest_lsn == lsns[-2]
+        assert log.newest_lsn == lsns[-1]
+
+    def test_raw_bytes_covers_only_retained_records(self):
+        record = _redo(1)
+        size = len(record.to_bytes())
+        log = RedoLog(capacity_bytes=size * 2)
+        for i in range(5):
+            log.log(_redo(i))
+        raw = log.raw_bytes()
+        # lsn(8) + len(4) framing per record
+        assert len(raw) == 2 * (8 + 4 + size)
+        assert log.total_appended == 5
+        assert log.total_evicted == 3
+
+
+class TestTraceStoreRing:
+    def test_capacity_must_be_positive(self):
+        for capacity in (0, -3):
+            with pytest.raises(ObsError):
+                TraceStore(SimulatedHeap(), capacity)
+
+    def test_wraps_exactly_at_slot_capacity(self):
+        store = TraceStore(SimulatedHeap(), capacity=3)
+        payloads = [SPAN_MAGIC + bytes([i]) * 8 for i in range(3)]
+        for payload in payloads:
+            store.append(payload)
+        assert store.num_records == 3
+        assert store.total_evicted == 0
+        assert store.raw_records() == payloads
+
+        extra = SPAN_MAGIC + b"\xff" * 8
+        store.append(extra)
+        assert store.num_records == 3
+        assert store.total_evicted == 1
+        assert store.raw_records() == payloads[1:] + [extra]
+
+    def test_eviction_leaves_heap_residue(self):
+        heap = SimulatedHeap()
+        store = TraceStore(heap, capacity=1)
+        first = SPAN_MAGIC + b"A" * 20
+        second = SPAN_MAGIC + b"B" * 24  # different size: no slot reuse
+        store.append(first)
+        store.append(second)
+        assert store.raw_records() == [second]
+        arena = heap.snapshot()
+        assert first in arena  # evicted but never zeroed
+        assert second in arena
+
+    def test_secure_delete_zeroes_evicted_slots(self):
+        heap = SimulatedHeap(secure_delete=True)
+        store = TraceStore(heap, capacity=1)
+        first = SPAN_MAGIC + b"A" * 20
+        store.append(first)
+        store.append(SPAN_MAGIC + b"B" * 24)
+        assert first not in heap.snapshot()
+
+    def test_clear_empties_view_but_not_memory(self):
+        heap = SimulatedHeap()
+        store = TraceStore(heap, capacity=4)
+        payload = SPAN_MAGIC + b"C" * 16
+        store.append(payload)
+        store.clear()
+        assert store.num_records == 0
+        assert store.raw_bytes() == b""
+        assert payload in heap.snapshot()
+
+    def test_carver_reads_residue_the_view_lost(self):
+        heap = SimulatedHeap()
+        store = TraceStore(heap, capacity=1)
+        from repro.obs import SpanRecord
+
+        for i in range(4):
+            record = SpanRecord(
+                trace_id=i + 1,
+                span_id=1,
+                parent_id=0,
+                name="query",
+                detail=f"digest-{i}",
+            )
+            # Vary the size so freed slots are not reused and residue stays.
+            store.append(record.to_bytes() + b"\x00" * i)
+        carved = carve_spans(heap.snapshot())
+        assert {span.detail for span in carved} == {
+            "digest-0",
+            "digest-1",
+            "digest-2",
+            "digest-3",
+        }
+        assert store.num_records == 1

@@ -4,7 +4,6 @@ The benchmarks run each experiment at paper fidelity; these tests run the
 same code paths at small scale and assert the qualitative claims hold.
 """
 
-import pytest
 
 import repro.experiments as E
 from repro.experiments.e08_lewi_wu import run_end_to_end_token_recovery

@@ -1,6 +1,5 @@
 """Scaled-down integration tests for the supplementary experiments."""
 
-import pytest
 
 from repro.experiments import (
     run_adaptive_hash_leak,

@@ -13,7 +13,7 @@ from repro.forensics import (
     reconstruct_statements,
 )
 from repro.forensics.binlog_reader import date_modifications
-from repro.server import MySQLServer, ServerConfig
+from repro.server import MySQLServer
 from repro.snapshot import AttackScenario, capture
 
 

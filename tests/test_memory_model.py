@@ -1,7 +1,7 @@
 """Unit tests for the simulated heap, arenas, and memory dumps."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import MemoryModelError

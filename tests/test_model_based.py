@@ -7,7 +7,6 @@ reconstruction must replay the model's exact write history — the deep
 invariant the paper's Section 3 forensics depends on.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,7 @@
 """Tests for the MongoDB-flavored substrate and its forensics."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.clock import SimClock

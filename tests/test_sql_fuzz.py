@@ -5,14 +5,12 @@ scenario), so it must fail *only* with typed errors — never hang, crash, or
 corrupt state — on arbitrary input.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CatalogError, SQLError
+from repro.errors import SQLError
 from repro.server import MySQLServer
 from repro.sql import canonicalize, digest, parse, tokenize
-from repro.sql.ast import Select
 
 
 class TestLexerFuzz:
@@ -56,6 +54,94 @@ class TestDigestFuzz:
     def test_canonicalize_idempotent_on_canonical_text(self):
         text = canonicalize("SELECT * FROM t WHERE a = 5 AND b = 'x'")
         assert canonicalize(text) == text
+
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,9}", fullmatch=True)
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_CASINGS = (str.upper, str.lower, str.capitalize)
+
+
+@st.composite
+def _select_shapes(draw):
+    """A statement *shape*: table, columns, and WHERE columns/operators.
+
+    The shape is what the digest must depend on — everything else
+    (literals, keyword casing, whitespace) must not affect it.
+    """
+    table = draw(_IDENT)
+    columns = draw(st.lists(_IDENT, min_size=1, max_size=3, unique=True))
+    where = draw(
+        st.lists(
+            st.tuples(_IDENT, st.sampled_from(_OPS)), min_size=0, max_size=2
+        )
+    )
+    return table, tuple(columns), tuple(where)
+
+
+@st.composite
+def _renderings(draw):
+    """One shape rendered twice with independent cosmetic choices."""
+    shape = draw(_select_shapes())
+
+    def render():
+        table, columns, where = shape
+        casing = draw(st.sampled_from(_CASINGS))
+        gap = " " * draw(st.integers(1, 3))
+
+        def lit():
+            if draw(st.booleans()):
+                return str(draw(st.integers(0, 10**9)))
+            return "'%s'" % draw(
+                st.text(alphabet="abcdefgh XYZ019_", max_size=8)
+            )
+
+        parts = [casing("SELECT"), ", ".join(columns), casing("FROM"), table]
+        if where:
+            parts.append(casing("WHERE"))
+            conds = [f"{col} {op} {lit()}" for col, op in where]
+            parts.append(f" {casing('AND')} ".join(conds))
+        return gap.join(parts)
+
+    return shape, render(), render()
+
+
+class TestDigestEquivalenceFuzz:
+    """The digest is the observability layer's query identifier, so its
+    equivalence classes are load-bearing: unstable digests would fragment
+    the per-query-type counts every artifact (performance_schema, the obs
+    trace) reports; over-coarse digests would merge distinct query shapes.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(_renderings())
+    def test_digest_invariant_under_cosmetic_variation(self, case):
+        """Whitespace, keyword case, and literal values never matter."""
+        _, variant_a, variant_b = case
+        assert digest(variant_a) == digest(variant_b), (variant_a, variant_b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_renderings(), _renderings())
+    def test_digest_distinct_for_distinct_structure(self, case_a, case_b):
+        shape_a, variant_a, _ = case_a
+        shape_b, variant_b, _ = case_b
+        if shape_a != shape_b:
+            assert digest(variant_a) != digest(variant_b), (variant_a, variant_b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_renderings())
+    def test_added_condition_changes_digest(self, case):
+        """The paper's §4 example: WHERE STATE=? vs WHERE STATE=? AND AGE>=?."""
+        (_, _, where), variant, _ = case
+        joiner = " AND " if where else " WHERE "
+        extended = variant + joiner + "zzz_extra = 1"
+        assert digest(extended) != digest(variant)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_renderings())
+    def test_digest_matches_canonical_form(self, case):
+        """Any rendering digests identically to its canonical text."""
+        _, variant, _ = case
+        assert digest(variant) == digest(canonicalize(variant))
 
 
 class TestServerFuzz:
