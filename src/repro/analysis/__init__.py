@@ -1,0 +1,66 @@
+"""repro.analysis — static plaintext-taint analysis and leakage-spec gate.
+
+An AST-based, no-dependency information-flow analyzer for this codebase.
+It reads a leakage spec (sources, sinks, documented paper flows), propagates
+taint kinds through a whole-package call graph, and fails on:
+
+- any source→sink flow not documented in the spec (``undocumented-flow``),
+- key material reaching a persistence sink, allowlisted or not
+  (``key-hygiene``),
+- memory release points on taint-carrying paths that never consult
+  ``secure_delete`` (``secure-deletion``, the paper's E6 pattern).
+
+Entry points: :func:`run_analysis` (library) and ``repro-lint`` /
+``python -m repro.analysis`` (CLI).
+"""
+
+from __future__ import annotations
+
+from .lints import (
+    Violation,
+    key_hygiene_lint,
+    secure_deletion_lint,
+    stale_documented_entries,
+    undocumented_flow_lint,
+)
+from .modindex import PackageIndex
+from .report import AnalysisReport, build_report
+from .resolve import Resolver
+from .spec import LeakageSpec, load_spec
+from .taint import Flow, TaintEngine, TaintResult
+
+__all__ = [
+    "AnalysisReport",
+    "Flow",
+    "LeakageSpec",
+    "PackageIndex",
+    "Resolver",
+    "TaintEngine",
+    "TaintResult",
+    "Violation",
+    "load_spec",
+    "run_analysis",
+]
+
+
+def run_analysis(package_dir, package: str, spec_path) -> AnalysisReport:
+    """Analyze ``package_dir`` against the leakage spec at ``spec_path``."""
+    spec = load_spec(spec_path)
+    index = PackageIndex.build(package_dir, package)
+    resolver = Resolver(index)
+    engine = TaintEngine(index, resolver, spec)
+    result = engine.run()
+    violations = (
+        undocumented_flow_lint(spec, result)
+        + key_hygiene_lint(spec, result)
+        + secure_deletion_lint(index, resolver, spec, result)
+    )
+    stale = stale_documented_entries(spec, result)
+    return build_report(
+        spec,
+        result,
+        violations,
+        stale,
+        modules_analyzed=len(index.modules),
+        functions_analyzed=len(index.functions),
+    )

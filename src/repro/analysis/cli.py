@@ -1,0 +1,103 @@
+"""``repro-lint``: command-line front-end for the leakage analyzer.
+
+Exit codes: 0 — clean (every flow documented, lints quiet); 1 — violations
+(undocumented flow, key-hygiene, secure-deletion); 2 — usage or input error
+(missing spec, unparseable source, malformed spec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..errors import AnalysisError
+from . import run_analysis
+
+
+def _find_default_root() -> Optional[Path]:
+    """Walk up from cwd to a directory holding leakage_spec.json + src/."""
+    current = Path.cwd()
+    for candidate in (current, *current.parents):
+        if (candidate / "leakage_spec.json").is_file():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static plaintext-taint analysis: propagates leakage-spec "
+            "sources to sinks across the package and fails on any flow the "
+            "spec does not document."
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        help="leakage spec path (default: leakage_spec.json found upward "
+        "from the current directory)",
+    )
+    parser.add_argument(
+        "--package-dir",
+        help="directory of the package to analyze (default: src/<package> "
+        "next to the spec)",
+    )
+    parser.add_argument(
+        "--package",
+        help="import name of the analyzed package (default: from the spec)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.spec:
+            spec_path = Path(args.spec)
+        else:
+            root = _find_default_root()
+            if root is None:
+                print(
+                    "repro-lint: no --spec given and no leakage_spec.json "
+                    "found upward from the current directory",
+                    file=sys.stderr,
+                )
+                return 2
+            spec_path = root / "leakage_spec.json"
+        if not spec_path.is_file():
+            print(f"repro-lint: spec not found: {spec_path}", file=sys.stderr)
+            return 2
+
+        # The package name lives in the spec; peek at it for defaults.
+        from .spec import load_spec
+
+        package = args.package or load_spec(spec_path).package
+        if args.package_dir:
+            package_dir = Path(args.package_dir)
+        else:
+            package_dir = spec_path.parent / "src" / package
+        report = run_analysis(package_dir, package, spec_path)
+    except AnalysisError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

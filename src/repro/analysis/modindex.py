@@ -1,0 +1,262 @@
+"""Package indexing: parse every module and catalogue its definitions.
+
+The index is the analyzer's symbol table. It records, per module, the
+import alias map (with relative imports resolved to absolute dotted names),
+top-level functions, classes (with their methods, dataclass fields, and
+decorators), and module-level constant assignments. Resolution of dotted
+names *across* modules — including ``__init__`` re-exports — lives in
+:mod:`.resolve`; this module only parses and catalogues.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import AnalysisError
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _decorator_names(node) -> Tuple[str, ...]:
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return tuple(names)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    name: str
+    node: FunctionNode
+    cls: Optional[str] = None  # enclosing class qualname, if a method
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def is_property(self) -> bool:
+        return "property" in self.decorators or "cached_property" in self.decorators
+
+    @property
+    def is_staticmethod(self) -> bool:
+        return "staticmethod" in self.decorators
+
+    @property
+    def is_classmethod(self) -> bool:
+        return "classmethod" in self.decorators
+
+    def positional_params(self) -> List[str]:
+        """Positional parameter names, with the implicit self/cls dropped."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        if self.cls is not None and not self.is_staticmethod and names:
+            names = names[1:]
+        return names
+
+    def keyword_params(self) -> List[str]:
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+    @property
+    def vararg(self) -> Optional[str]:
+        return self.node.args.vararg.arg if self.node.args.vararg else None
+
+    @property
+    def kwarg(self) -> Optional[str]:
+        return self.node.args.kwarg.arg if self.node.args.kwarg else None
+
+    def all_params(self) -> List[str]:
+        names = self.positional_params() + self.keyword_params()
+        if self.vararg:
+            names.append(self.vararg)
+        if self.kwarg:
+            names.append(self.kwarg)
+        return names
+
+    def param_annotation(self, name: str) -> Optional[ast.expr]:
+        args = self.node.args
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if a.arg == name:
+                return a.annotation
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition (methods, bases, dataclass fields)."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_exprs: List[ast.expr] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)  # resolved by Resolver
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    decorators: Tuple[str, ...] = ()
+    fields: List[Tuple[str, Optional[ast.expr]]] = field(default_factory=list)
+
+    @property
+    def is_dataclass(self) -> bool:
+        return "dataclass" in self.decorators
+
+    @property
+    def has_init(self) -> bool:
+        return "__init__" in self.methods
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str
+    path: Path
+    node: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
+    constants: Dict[str, ast.expr] = field(default_factory=dict)
+    is_package: bool = False
+
+
+def _resolve_relative(module: ModuleInfo, node: ast.ImportFrom) -> str:
+    """Absolute dotted prefix for a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    parts = module.name.split(".")
+    if not module.is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[: len(parts) - drop]
+    if node.module:
+        parts.append(node.module)
+    return ".".join(parts)
+
+
+class PackageIndex:
+    """Every module, class, and function of one analyzed package."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    @classmethod
+    def build(cls, package_dir, package: str) -> "PackageIndex":
+        """Parse ``package_dir`` (the directory *of* the package) recursively."""
+        package_dir = Path(package_dir)
+        if not package_dir.is_dir():
+            raise AnalysisError(f"package directory not found: {package_dir}")
+        index = cls(package)
+        for path in sorted(package_dir.rglob("*.py")):
+            rel = path.relative_to(package_dir)
+            parts = list(rel.parts)
+            is_package = parts[-1] == "__init__.py"
+            if is_package:
+                parts = parts[:-1]
+            else:
+                parts[-1] = parts[-1][:-3]
+            module_name = ".".join([package] + parts)
+            index._add_module(module_name, path, is_package)
+        if not index.modules:
+            raise AnalysisError(f"no Python modules found under {package_dir}")
+        return index
+
+    def _add_module(self, name: str, path: Path, is_package: bool) -> None:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+        module = ModuleInfo(
+            name=name, path=path, node=tree, is_package=is_package
+        )
+        self.modules[name] = module
+        # Imports can hide inside ``if TYPE_CHECKING:`` blocks and function
+        # bodies (lazy imports breaking cycles) — walk the whole tree.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    module.imports[local] = alias.asname and alias.name or local
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                prefix = _resolve_relative(module, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = (
+                        f"{prefix}.{alias.name}" if prefix else alias.name
+                    )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    module.constants[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    module.constants[node.target.id] = node.value
+
+    def _add_function(
+        self, module: ModuleInfo, node: FunctionNode, cls: Optional[str]
+    ) -> Optional[FunctionInfo]:
+        if cls is None:
+            qualname = f"{module.name}.{node.name}"
+        else:
+            qualname = f"{cls}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            cls=cls,
+            decorators=_decorator_names(node),
+        )
+        # Later definitions win (e.g. @overload stacks), matching runtime.
+        self.functions[qualname] = info
+        if cls is None:
+            module.functions[node.name] = qualname
+        return info
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            base_exprs=list(node.bases),
+            decorators=_decorator_names(node),
+        )
+        self.classes[qualname] = info
+        module.classes[node.name] = qualname
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(module, child, cls=qualname)
+                if fn is not None:
+                    info.methods[child.name] = fn.qualname
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                # Class-level annotated names double as dataclass fields;
+                # skip ClassVar (never instance state).
+                ann = child.annotation
+                text = ast.dump(ann)
+                if "ClassVar" not in text:
+                    info.fields.append((child.target.id, ann))

@@ -1,0 +1,124 @@
+"""Analysis report assembly and rendering (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .lints import Violation
+from .spec import LeakageSpec
+from .taint import Flow, TaintResult
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run learned, plus the gate verdict."""
+
+    spec: LeakageSpec
+    flows: List[Flow] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    stale_documented: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    functions_analyzed: int = 0
+    modules_analyzed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+    @property
+    def documented_flows(self) -> List[Flow]:
+        documented = self.spec.documented_pairs()
+        return [f for f in self.flows if (f.taint, f.sink) in documented]
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.path,
+            "package": self.spec.package,
+            "modules_analyzed": self.modules_analyzed,
+            "functions_analyzed": self.functions_analyzed,
+            "flows": [
+                {
+                    "taint": f.taint,
+                    "sink": f.sink,
+                    "category": f.category,
+                    "sink_callable": f.sink_callable,
+                    "at": f"{f.function}:{f.line}",
+                    "documented": (f.taint, f.sink) in self.spec.documented_pairs(),
+                    "experiments": sorted(
+                        {
+                            e
+                            for d in self.spec.documented
+                            if (d.taint, d.sink) == (f.taint, f.sink)
+                            for e in d.experiments
+                        }
+                    ),
+                    "witness": f.witness,
+                }
+                for f in self.flows
+            ],
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "message": v.message,
+                    "function": v.function,
+                    "line": v.line,
+                }
+                for v in self.violations
+            ],
+            "stale_documented": self.stale_documented,
+            "warnings": self.warnings,
+            "ok": not self.violations,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        lines.append(
+            f"repro-lint: {self.spec.package} "
+            f"({self.modules_analyzed} modules, "
+            f"{self.functions_analyzed} functions) against {self.spec.path}"
+        )
+        documented = self.spec.documented_pairs()
+        lines.append(f"flows observed: {len(self.flows)}")
+        for flow in self.flows:
+            mark = "documented" if (flow.taint, flow.sink) in documented else "NEW"
+            lines.append(
+                f"  [{mark:>10}] {flow.taint:<18} -> {flow.sink:<18} "
+                f"({flow.category}) at {flow.function}:{flow.line}"
+            )
+        if self.violations:
+            lines.append(f"violations: {len(self.violations)}")
+            for v in self.violations:
+                lines.append(f"  [{v.rule}] {v.message}")
+        else:
+            lines.append("violations: none")
+        for stale in self.stale_documented:
+            lines.append(f"  warning: documented flow never observed: {stale}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        lines.append("PASS" if not self.violations else "FAIL")
+        return "\n".join(lines)
+
+
+def build_report(
+    spec: LeakageSpec,
+    result: TaintResult,
+    violations: List[Violation],
+    stale: List[str],
+    modules_analyzed: int,
+    functions_analyzed: int,
+) -> AnalysisReport:
+    flows = sorted(result.flows.values(), key=lambda f: (f.sink, f.taint))
+    return AnalysisReport(
+        spec=spec,
+        flows=flows,
+        violations=violations,
+        stale_documented=stale,
+        warnings=list(result.warnings),
+        modules_analyzed=modules_analyzed,
+        functions_analyzed=functions_analyzed,
+    )

@@ -1,0 +1,357 @@
+"""Name, annotation, and attribute-type resolution over a PackageIndex.
+
+The taint engine needs three questions answered statically:
+
+1. *What does this dotted name mean here?* — local name → class/function
+   qualname, following import aliases and ``__init__`` re-export chains.
+2. *What class is this annotation?* — including ``Optional[X]``, quoted
+   forward references, and container element types (``Dict[str, X]`` →
+   element class ``X``), which is how ``self._rnd[column].encrypt(...)``
+   resolves to ``RndCipher.encrypt``.
+3. *What type does this instance attribute hold?* — inferred from
+   ``self.x = <annotated param>`` assignments, ``self.x: T = ...``,
+   constructor calls, and dataclass fields, iterated to a fixpoint so
+   ``self.x = self.y`` chains and module-level constants (e.g. the shared
+   ``NO_OP_INSTRUMENTATION`` handle) resolve too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .modindex import ClassInfo, FunctionInfo, ModuleInfo, PackageIndex
+
+#: Typing containers whose subscript names an element type (first or last
+#: argument, per _CONTAINER_LAST below).
+_CONTAINER_HEADS = {
+    "List", "list", "Set", "set", "FrozenSet", "frozenset", "Tuple", "tuple",
+    "Sequence", "Iterable", "Iterator", "Deque", "deque",
+}
+_MAPPING_HEADS = {"Dict", "dict", "Mapping", "MutableMapping", "OrderedDict",
+                  "DefaultDict", "defaultdict"}
+_WRAPPER_HEADS = {"Optional", "Union", "Final", "Annotated", "ClassVar", "Type",
+                  "type"}
+
+
+class Resolver:
+    """Answers name/type questions against one :class:`PackageIndex`."""
+
+    def __init__(self, index: PackageIndex) -> None:
+        self.index = index
+        #: (class qualname, attr) -> class qualname of the attribute's value
+        self.attr_types: Dict[Tuple[str, str], str] = {}
+        #: (class qualname, attr) -> element class for container attributes
+        self.attr_elems: Dict[Tuple[str, str], str] = {}
+        self._resolve_bases()
+        self._infer_attr_types()
+
+    # -- dotted-name resolution -------------------------------------------
+
+    def canonical(self, qualname: str) -> str:
+        """Follow module re-export aliases until a definition is reached."""
+        for _ in range(16):
+            if qualname in self.index.functions or qualname in self.index.classes:
+                return qualname
+            resolved = self._canonical_step(qualname)
+            if resolved is None or resolved == qualname:
+                return qualname
+            qualname = resolved
+        return qualname
+
+    def _canonical_step(self, qualname: str) -> Optional[str]:
+        parts = qualname.split(".")
+        # Longest module prefix wins so package/module shadowing behaves.
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.index.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            head, tail = rest[0], rest[1:]
+            if head in module.classes:
+                base = module.classes[head]
+            elif head in module.functions and not tail:
+                return module.functions[head]
+            elif head in module.imports:
+                base = module.imports[head]
+            else:
+                return None
+            return base + ("." + ".".join(tail) if tail else "")
+        return None
+
+    def resolve_dotted(self, module: ModuleInfo, dotted: str) -> Optional[str]:
+        """Resolve a dotted name as written inside ``module``."""
+        head, _, tail = dotted.partition(".")
+        if head in module.classes:
+            base = module.classes[head]
+        elif head in module.functions:
+            base = module.functions[head]
+        elif head in module.imports:
+            base = module.imports[head]
+        else:
+            return None
+        result = self.canonical(base + ("." + tail if tail else ""))
+        if result in self.index.functions or result in self.index.classes:
+            return result
+        return None
+
+    # -- class structure ---------------------------------------------------
+
+    def _resolve_bases(self) -> None:
+        for info in self.index.classes.values():
+            module = self.index.modules[info.module]
+            for base in info.base_exprs:
+                dotted = _dotted_name(base)
+                if dotted is None:
+                    continue
+                resolved = self.resolve_dotted(module, dotted)
+                if resolved is not None and resolved in self.index.classes:
+                    info.bases.append(resolved)
+
+    def mro(self, class_qualname: str) -> List[str]:
+        """Linearized base walk (approximate MRO, cycle-safe)."""
+        order: List[str] = []
+        stack = [class_qualname]
+        seen = set()
+        while stack:
+            cls = stack.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            info = self.index.classes.get(cls)
+            if info is None:
+                continue
+            order.append(cls)
+            stack.extend(info.bases)
+        return order
+
+    def method(self, class_qualname: str, name: str) -> Optional[FunctionInfo]:
+        for cls in self.mro(class_qualname):
+            info = self.index.classes[cls]
+            fn_qual = info.methods.get(name)
+            if fn_qual is not None:
+                return self.index.functions.get(fn_qual)
+        return None
+
+    def attr_type(self, class_qualname: str, attr: str) -> Optional[str]:
+        for cls in self.mro(class_qualname):
+            found = self.attr_types.get((cls, attr))
+            if found is not None:
+                return found
+        return None
+
+    def attr_elem(self, class_qualname: str, attr: str) -> Optional[str]:
+        for cls in self.mro(class_qualname):
+            found = self.attr_elems.get((cls, attr))
+            if found is not None:
+                return found
+        return None
+
+    def has_attr(self, class_qualname: str, attr: str) -> bool:
+        """Whether ``attr`` is a *declared* field/typed attribute anywhere."""
+        for cls in self.mro(class_qualname):
+            info = self.index.classes[cls]
+            if any(name == attr for name, _ in info.fields):
+                return True
+            if (cls, attr) in self.attr_types or (cls, attr) in self.attr_elems:
+                return True
+        return False
+
+    # -- annotations -------------------------------------------------------
+
+    def annotation_classes(
+        self, module: ModuleInfo, node: Optional[ast.expr]
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """(direct class, container element class) named by an annotation."""
+        if node is None:
+            return None, None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Quoted forward reference.
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None, None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            if dotted is None:
+                return None, None
+            resolved = self.resolve_dotted(module, dotted)
+            if resolved in self.index.classes:
+                return resolved, None
+            return None, None
+        if isinstance(node, ast.Subscript):
+            head = _dotted_name(node.value)
+            head = head.split(".")[-1] if head else ""
+            slices = _subscript_args(node)
+            if head in _WRAPPER_HEADS:
+                for s in slices:
+                    direct, elem = self.annotation_classes(module, s)
+                    if direct or elem:
+                        return direct, elem
+                return None, None
+            if head in _MAPPING_HEADS and len(slices) >= 2:
+                direct, _ = self.annotation_classes(module, slices[-1])
+                return None, direct
+            if head in _CONTAINER_HEADS and slices:
+                direct, _ = self.annotation_classes(module, slices[0])
+                return None, direct
+            return None, None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            # PEP 604 unions.
+            for side in (node.left, node.right):
+                direct, elem = self.annotation_classes(module, side)
+                if direct or elem:
+                    return direct, elem
+        return None, None
+
+    def annotation_positions(
+        self, module: ModuleInfo, node: Optional[ast.expr]
+    ) -> Optional[Tuple[Optional[str], ...]]:
+        """Per-position classes of a heterogeneous ``Tuple[A, B, ...]``."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if not isinstance(node, ast.Subscript):
+            return None
+        head = _dotted_name(node.value)
+        head = head.split(".")[-1] if head else ""
+        if head not in ("Tuple", "tuple"):
+            return None
+        slices = _subscript_args(node)
+        if len(slices) < 2 or any(
+            isinstance(s, ast.Constant) and s.value is Ellipsis for s in slices
+        ):
+            return None
+        return tuple(self.annotation_classes(module, s)[0] for s in slices)
+
+    def param_type(self, fn: FunctionInfo, param: str) -> Tuple[Optional[str], Optional[str]]:
+        module = self.index.modules[fn.module]
+        return self.annotation_classes(module, fn.param_annotation(param))
+
+    def return_type(self, fn: FunctionInfo) -> Tuple[Optional[str], Optional[str]]:
+        module = self.index.modules[fn.module]
+        return self.annotation_classes(module, fn.node.returns)
+
+    def return_positions(
+        self, fn: FunctionInfo
+    ) -> Optional[Tuple[Optional[str], ...]]:
+        module = self.index.modules[fn.module]
+        return self.annotation_positions(module, fn.node.returns)
+
+    # -- instance attribute typing ----------------------------------------
+
+    def _infer_attr_types(self) -> None:
+        # Dataclass / class-level annotated fields first.
+        for info in self.index.classes.values():
+            module = self.index.modules[info.module]
+            for name, ann in info.fields:
+                direct, elem = self.annotation_classes(module, ann)
+                if direct:
+                    self.attr_types.setdefault((info.qualname, name), direct)
+                if elem:
+                    self.attr_elems.setdefault((info.qualname, name), elem)
+        # ``self.x = ...`` in method bodies, to a fixpoint so attr→attr
+        # copies and late assignments converge (bounded, small passes).
+        for _ in range(4):
+            changed = False
+            for info in self.index.classes.values():
+                for fn_qual in info.methods.values():
+                    fn = self.index.functions.get(fn_qual)
+                    if fn is not None and self._scan_method_attrs(info, fn):
+                        changed = True
+            if not changed:
+                break
+
+    def _scan_method_attrs(self, info: ClassInfo, fn: FunctionInfo) -> bool:
+        module = self.index.modules[fn.module]
+        changed = False
+        for node in ast.walk(fn.node):
+            target = None
+            value = None
+            ann = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, ann = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            key = (info.qualname, target.attr)
+            direct = elem = None
+            if ann is not None:
+                direct, elem = self.annotation_classes(module, ann)
+            if direct is None and elem is None and value is not None:
+                direct, elem = self._static_expr_type(module, fn, info, value)
+            if direct and key not in self.attr_types:
+                self.attr_types[key] = direct
+                changed = True
+            if elem and key not in self.attr_elems:
+                self.attr_elems[key] = elem
+                changed = True
+        return changed
+
+    def _static_expr_type(
+        self, module: ModuleInfo, fn: FunctionInfo, info: ClassInfo, node: ast.expr
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Best-effort type of an assigned expression (no taint involved)."""
+        if isinstance(node, ast.Name):
+            ann = fn.param_annotation(node.id)
+            if ann is not None:
+                return self.annotation_classes(module, ann)
+            const = module.constants.get(node.id)
+            if const is not None and not isinstance(const, ast.Name):
+                return self._static_expr_type(module, fn, info, const)
+            return None, None
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None:
+                resolved = self.resolve_dotted(module, dotted)
+                if resolved in self.index.classes:
+                    return resolved, None
+                if resolved in self.index.functions:
+                    return self.return_type(self.index.functions[resolved])
+            return None, None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                direct, elem = self._static_expr_type(module, fn, info, value)
+                if direct or elem:
+                    return direct, elem
+            return None, None
+        if isinstance(node, ast.IfExp):
+            for value in (node.body, node.orelse):
+                direct, elem = self._static_expr_type(module, fn, info, value)
+                if direct or elem:
+                    return direct, elem
+            return None, None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return (
+                    self.attr_type(info.qualname, node.attr),
+                    self.attr_elem(info.qualname, node.attr),
+                )
+        return None, None
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string, or None if the expression is not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _subscript_args(node: ast.Subscript) -> List[ast.expr]:
+    inner = node.slice
+    if isinstance(inner, ast.Tuple):
+        return list(inner.elts)
+    return [inner]

@@ -1,0 +1,275 @@
+"""Leakage-spec loading and validation.
+
+The leakage spec is the machine-readable contract between the paper and the
+code: it declares where secret-derived data *enters* the system (sources),
+where it would be *observable* by the paper's snapshot attacker (sinks), and
+which source→sink flows are *documented* reproductions of the paper's
+experiments (E1–E13 and the supplementary runs in EXPERIMENTS.md). The
+analyzer fails the build on any flow that is not documented.
+
+The canonical format is JSON (loadable on every supported interpreter);
+``.toml`` specs are accepted when :mod:`tomllib` is available (3.11+).
+
+Spec semantics worth knowing:
+
+``via: "return"`` sources are *retainting*: the call's result carries
+exactly the declared taint kind, replacing whatever kinds flowed into the
+arguments. This is how ``RndCipher.encrypt`` launders ``key``/``plaintext``
+into ``rnd_ciphertext`` — the ciphertext is observable, but it is not the
+key, and modelling it as the key would drown the key-hygiene lint in false
+positives.
+
+``key_taints`` × ``forbidden_categories`` flows can never be allowlisted:
+listing one under ``documented_flows`` is itself a spec error. There is no
+paper experiment in which writing key material to a persistence artifact is
+acceptable behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import AnalysisError
+
+#: Every sink must declare one of these categories. ``persistence`` sinks
+#: survive restart (logs, tablespaces); ``memory`` sinks are heap-resident;
+#: ``diagnostic`` covers performance_schema-style introspection tables;
+#: ``telemetry`` is the obs subsystem; ``capture`` is the snapshot object
+#: itself (the attacker's viewpoint, so *everything* legitimately reaches it).
+SINK_CATEGORIES = ("persistence", "memory", "diagnostic", "telemetry", "capture")
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One taint source: a callable that introduces a taint kind."""
+
+    callable: str
+    taint: str
+    via: str  # "return" (retainting) or "param:<name>"
+    note: str = ""
+
+    @property
+    def param(self) -> str:
+        """The parameter name for ``param:`` sources (empty for returns)."""
+        return self.via[6:] if self.via.startswith("param:") else ""
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """One sink: a callable whose (selected) arguments are observable."""
+
+    callable: str
+    sink: str
+    category: str
+    params: Tuple[str, ...] = ()  # empty tuple = every argument is observed
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class DocumentedFlow:
+    """An allowlisted taint→sink pair, justified by paper experiments."""
+
+    taint: str
+    sink: str
+    experiments: Tuple[str, ...] = ()
+    ref: str = ""
+    note: str = ""
+
+
+@dataclass
+class LeakageSpec:
+    """The parsed spec plus derived lookup structure."""
+
+    package: str
+    taints: Dict[str, str] = field(default_factory=dict)
+    sources: List[SourceSpec] = field(default_factory=list)
+    sinks: List[SinkSpec] = field(default_factory=list)
+    documented: List[DocumentedFlow] = field(default_factory=list)
+    key_taints: Tuple[str, ...] = ()
+    forbidden_categories: Tuple[str, ...] = ("persistence",)
+    release_points: Tuple[str, ...] = ()
+    sanitizers: Tuple[str, ...] = ()
+    artifacts: Tuple[str, ...] = ()
+    path: str = ""
+
+    def documented_pairs(self) -> Set[Tuple[str, str]]:
+        return {(d.taint, d.sink) for d in self.documented}
+
+    def sink_ids(self) -> Set[str]:
+        return {s.sink for s in self.sinks}
+
+    def sink_category(self, sink_id: str) -> str:
+        for s in self.sinks:
+            if s.sink == sink_id:
+                return s.category
+        return ""
+
+    def forbidden_pairs(self) -> FrozenSet[Tuple[str, str]]:
+        """(key taint, sink id) pairs that may never occur nor be allowlisted."""
+        return frozenset(
+            (taint, s.sink)
+            for taint in self.key_taints
+            for s in self.sinks
+            if s.category in self.forbidden_categories
+        )
+
+    def validate(self) -> List[str]:
+        """Structural checks; returns human-readable problems (empty = ok)."""
+        problems: List[str] = []
+        declared = set(self.taints)
+        for src in self.sources:
+            if src.via != "return" and not src.via.startswith("param:"):
+                problems.append(
+                    f"source {src.callable}: via must be 'return' or "
+                    f"'param:<name>', got {src.via!r}"
+                )
+            if declared and src.taint not in declared:
+                problems.append(
+                    f"source {src.callable}: undeclared taint kind {src.taint!r}"
+                )
+        seen_sinks: Dict[str, str] = {}
+        for snk in self.sinks:
+            if snk.category not in SINK_CATEGORIES:
+                problems.append(
+                    f"sink {snk.sink} ({snk.callable}): unknown category "
+                    f"{snk.category!r}"
+                )
+            prev = seen_sinks.setdefault(snk.sink, snk.category)
+            if prev != snk.category:
+                problems.append(
+                    f"sink id {snk.sink!r} declared with two categories: "
+                    f"{prev!r} and {snk.category!r}"
+                )
+        ids = self.sink_ids()
+        for doc in self.documented:
+            if declared and doc.taint not in declared:
+                problems.append(
+                    f"documented flow {doc.taint}->{doc.sink}: undeclared "
+                    f"taint kind {doc.taint!r}"
+                )
+            if doc.sink not in ids:
+                problems.append(
+                    f"documented flow {doc.taint}->{doc.sink}: unknown sink "
+                    f"id {doc.sink!r}"
+                )
+        return problems
+
+
+def _as_tuple(value, what: str) -> Tuple[str, ...]:
+    if value is None:
+        return ()
+    if not isinstance(value, (list, tuple)):
+        raise AnalysisError(f"{what} must be a list, got {type(value).__name__}")
+    return tuple(str(v) for v in value)
+
+
+def _load_raw(path: Path) -> dict:
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read leakage spec {path}: {exc}") from exc
+    if path.suffix == ".toml":
+        try:
+            import tomllib  # Python 3.11+
+        except ImportError as exc:
+            raise AnalysisError(
+                f"{path}: TOML specs need Python 3.11+ (tomllib); "
+                "use the JSON form on older interpreters"
+            ) from exc
+        try:
+            return tomllib.loads(data.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"{path}: malformed TOML spec: {exc}") from exc
+    try:
+        return json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise AnalysisError(f"{path}: malformed JSON spec: {exc}") from exc
+
+
+def load_spec(path) -> LeakageSpec:
+    """Load and validate a leakage spec from ``path`` (JSON or TOML)."""
+    path = Path(path)
+    raw = _load_raw(path)
+    if not isinstance(raw, dict):
+        raise AnalysisError(f"{path}: spec root must be an object/table")
+    package = raw.get("package")
+    if not package or not isinstance(package, str):
+        raise AnalysisError(f"{path}: spec must name the analyzed 'package'")
+
+    sources = []
+    for i, entry in enumerate(raw.get("sources", [])):
+        try:
+            sources.append(
+                SourceSpec(
+                    callable=entry["callable"],
+                    taint=entry["taint"],
+                    via=entry.get("via", "return"),
+                    note=entry.get("note", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(f"{path}: sources[{i}] malformed: {exc}") from exc
+
+    sinks = []
+    for i, entry in enumerate(raw.get("sinks", [])):
+        try:
+            sinks.append(
+                SinkSpec(
+                    callable=entry["callable"],
+                    sink=entry["sink"],
+                    category=entry["category"],
+                    params=_as_tuple(entry.get("params"), f"sinks[{i}].params"),
+                    note=entry.get("note", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(f"{path}: sinks[{i}] malformed: {exc}") from exc
+
+    documented = []
+    for i, entry in enumerate(raw.get("documented_flows", [])):
+        try:
+            sink_ids = entry.get("sinks")
+            if sink_ids is None:
+                sink_ids = [entry["sink"]]
+            for sink_id in sink_ids:
+                documented.append(
+                    DocumentedFlow(
+                        taint=entry["taint"],
+                        sink=sink_id,
+                        experiments=_as_tuple(
+                            entry.get("experiments"),
+                            f"documented_flows[{i}].experiments",
+                        ),
+                        ref=entry.get("ref", ""),
+                        note=entry.get("note", ""),
+                    )
+                )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(
+                f"{path}: documented_flows[{i}] malformed: {exc}"
+            ) from exc
+
+    spec = LeakageSpec(
+        package=package,
+        taints=dict(raw.get("taints", {})),
+        sources=sources,
+        sinks=sinks,
+        documented=documented,
+        key_taints=_as_tuple(raw.get("key_taints"), "key_taints"),
+        forbidden_categories=_as_tuple(
+            raw.get("forbidden_categories", ["persistence"]), "forbidden_categories"
+        ),
+        release_points=_as_tuple(raw.get("release_points"), "release_points"),
+        sanitizers=_as_tuple(raw.get("sanitizers"), "sanitizers"),
+        artifacts=_as_tuple(raw.get("artifacts"), "artifacts"),
+        path=str(path),
+    )
+    problems = spec.validate()
+    if problems:
+        raise AnalysisError(
+            f"{path}: invalid leakage spec:\n  " + "\n  ".join(problems)
+        )
+    return spec

@@ -9,10 +9,13 @@ of inserts" observation (Section 3, experiment E2).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, List, Tuple, TypeVar
+from typing import TYPE_CHECKING, Deque, Generic, List, Optional, Tuple, TypeVar
 
 from ..errors import LogError
 from .lsn import LsnCounter
+
+if TYPE_CHECKING:
+    from ..obs.instrumentation import Instrumentation
 
 RecordT = TypeVar("RecordT")
 
@@ -26,7 +29,10 @@ class CircularLog(Generic[RecordT]):
     """
 
     def __init__(
-        self, capacity_bytes: int, lsn: LsnCounter, instrumentation=None
+        self,
+        capacity_bytes: int,
+        lsn: LsnCounter,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise LogError(f"log capacity must be positive, got {capacity_bytes}")

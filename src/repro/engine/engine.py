@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..clock import SimClock
 from ..errors import EngineError, TransactionError
-from ..obs.instrumentation import NO_OP_INSTRUMENTATION
+from ..obs.instrumentation import NO_OP_INSTRUMENTATION, Instrumentation
 from ..storage import BTree, BufferPool, Tablespace
 from ..storage.btree import AccessPath
 from .binlog import Binlog
@@ -61,7 +61,7 @@ class StorageEngine:
         undo_capacity: int = DEFAULT_CAPACITY,
         binlog_enabled: bool = False,
         btree_fanout: int = 64,
-        instrumentation=None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.obs = instrumentation or NO_OP_INSTRUMENTATION

@@ -110,3 +110,12 @@ class AttackError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload generators on invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static leakage analyzer on unusable input.
+
+    Covers malformed leakage specs, unparseable source files, and bad
+    analyzer configuration — *not* leakage findings, which are reported,
+    never raised.
+    """

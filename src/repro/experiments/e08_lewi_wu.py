@@ -133,7 +133,7 @@ def run_end_to_end_token_recovery(
     stored = edb.stored_ciphertexts()
     scheme = edb.scheme
     total_bits = 0
-    for row_id, right in stored.items():
+    for right in stored.values():
         best = 0
         for left in carved:
             result = scheme.compare(left, right)

@@ -83,7 +83,7 @@ def run_binomial_matching(
     class_of: Dict[int, int] = {}
     class_freqs: Counter = Counter()
     class_truth: Dict[int, int] = {}
-    for rank, cid in enumerate(order):
+    for cid in order:
         # Equal plaintexts form one ciphertext class under equality leakage.
         key = plaintexts[cid]
         class_id = sorted_domain.index(key)  # stable opaque label

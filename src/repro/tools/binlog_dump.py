@@ -9,9 +9,11 @@ that position predates the retained binlog window.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..forensics import fit_lsn_timestamp_model, read_binlog_text
 
 
@@ -29,7 +31,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    events = read_binlog_text(args.binlog.read_text())
+    try:
+        events = read_binlog_text(args.binlog.read_text())
+    except (OSError, ReproError) as exc:
+        print(f"repro-binlog: {exc}", file=sys.stderr)
+        return 2
     if not events:
         print("no binlog events found")
         return 1

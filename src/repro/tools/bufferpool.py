@@ -8,9 +8,11 @@ recent SELECTs.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..forensics import infer_access_paths, parse_dump_text
 from ..forensics.buffer_pool_dump import leaf_pages_touched
 
@@ -25,7 +27,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    dump = parse_dump_text(args.dump.read_text())
+    try:
+        dump = parse_dump_text(args.dump.read_text())
+    except (OSError, ReproError) as exc:
+        print(f"repro-bufferpool: {exc}", file=sys.stderr)
+        return 2
     paths = infer_access_paths(dump, min_depth=args.min_depth)
     for index, path in enumerate(paths):
         chain = " -> ".join(

@@ -14,9 +14,11 @@ hold:
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..server import MySQLServer, ServerConfig
 from ..snapshot import AttackScenario, capture
 from ..workloads import customer_insert_statements, generate_customers
@@ -85,8 +87,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    server = build_victim_server(seed=args.seed)
-    written = write_artifacts(server, args.out_dir, args.with_memory)
+    try:
+        server = build_victim_server(seed=args.seed)
+        written = write_artifacts(server, args.out_dir, args.with_memory)
+    except (OSError, ReproError) as exc:
+        print(f"repro-demo: {exc}", file=sys.stderr)
+        return 2
     for path in written:
         print(path)
     return 0

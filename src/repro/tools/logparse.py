@@ -8,9 +8,11 @@ pseudo-SQL, including before-images of deleted and overwritten data.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..forensics import reconstruct_modifications, reconstruct_statements
 
 
@@ -31,9 +33,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.redo is None and args.undo is None:
         parser.error("need --redo and/or --undo")
 
-    redo = args.redo.read_bytes() if args.redo else None
-    undo = args.undo.read_bytes() if args.undo else None
-    events = reconstruct_modifications(redo, undo)
+    try:
+        redo = args.redo.read_bytes() if args.redo else None
+        undo = args.undo.read_bytes() if args.undo else None
+        events = reconstruct_modifications(redo, undo)
+    except (OSError, ReproError) as exc:
+        print(f"repro-logparse: {exc}", file=sys.stderr)
+        return 2
     if args.table is not None:
         events = [e for e in events if e.table == args.table]
 

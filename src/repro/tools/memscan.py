@@ -8,9 +8,11 @@ with ``--marker`` — the residue counts for a specific string.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..memory import MemoryDump
 from ..forensics.memory_scan import scan_for_tokens
 
@@ -31,7 +33,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    dump = MemoryDump(args.dump.read_bytes())
+    try:
+        dump = MemoryDump(args.dump.read_bytes())
+    except (OSError, ReproError) as exc:
+        print(f"repro-memscan: {exc}", file=sys.stderr)
+        return 2
     print(f"memory image: {dump.size:,} bytes")
 
     statements = dump.carve_sql()

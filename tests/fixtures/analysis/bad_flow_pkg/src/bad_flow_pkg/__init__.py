@@ -1,0 +1,1 @@
+"""Known-bad fixture: same code as clean_pkg, but the spec documents nothing."""

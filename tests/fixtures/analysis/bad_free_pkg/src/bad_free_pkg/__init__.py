@@ -1,0 +1,6 @@
+"""Known-bad fixture for the secure-deletion lint.
+
+``Heap.free`` is a declared release point that never consults
+``secure_delete``, and it is called from a taint-carrying function —
+exactly the paper's E6 pattern (freed bytes survive into snapshots).
+"""

@@ -1,0 +1,24 @@
+"""A heap that frees without zeroing, reached from a tainted path."""
+
+from typing import Dict, Optional
+
+
+class Heap:
+    def __init__(self) -> None:
+        self._cells: Dict[int, Optional[str]] = {}
+        self._next = 0
+
+    def write(self, data: str) -> int:
+        addr = self._next
+        self._next += 1
+        self._cells[addr] = data
+        return addr
+
+    def free(self, addr: int) -> None:
+        # Deliberately leaves the bytes in place: no secure_delete guard.
+        self._cells[addr] = self._cells.get(addr)
+
+
+def process(heap: Heap, secret: str) -> None:
+    addr = heap.write(secret)
+    heap.free(addr)

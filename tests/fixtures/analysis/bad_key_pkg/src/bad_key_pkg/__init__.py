@@ -1,0 +1,5 @@
+"""Known-bad fixture: key material reaches a persistence sink.
+
+The spec even allowlists the flow under ``documented_flows`` — the
+key-hygiene lint must flag it anyway.
+"""

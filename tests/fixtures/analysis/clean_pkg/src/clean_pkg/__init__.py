@@ -1,0 +1,1 @@
+"""Known-good fixture: its one taint flow is documented in the spec."""

@@ -1,0 +1,21 @@
+"""A minimal store whose log leak is documented."""
+
+from typing import List
+
+
+class Log:
+    def __init__(self) -> None:
+        self._entries: List[str] = []
+
+    def append(self, entry: str) -> None:
+        self._entries.append(entry)
+
+
+class Store:
+    def __init__(self) -> None:
+        self._log = Log()
+        self._data: List[str] = []
+
+    def put(self, value: str) -> None:
+        self._data.append(value)
+        self._log.append(value)

@@ -1,0 +1,202 @@
+"""Tests for repro.analysis: the taint analyzer and leakage-spec gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_spec, run_analysis
+from repro.analysis.cli import main as lint_main
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_fixture(name):
+    root = FIXTURES / name
+    return run_analysis(root / "src" / name, name, root / "leakage_spec.json")
+
+
+class TestSpecLoading:
+    def test_loads_repo_spec(self):
+        spec = load_spec(REPO_ROOT / "leakage_spec.json")
+        assert spec.package == "repro"
+        assert "key" in spec.key_taints
+        assert "persistence" in spec.forbidden_categories
+        assert spec.sources and spec.sinks and spec.documented
+
+    def test_param_source_exposes_param_name(self):
+        spec = load_spec(FIXTURES / "clean_pkg" / "leakage_spec.json")
+        (src,) = spec.sources
+        assert src.param == "value"
+
+    def test_forbidden_pairs_cross_key_taints_with_persistence(self):
+        spec = load_spec(FIXTURES / "bad_key_pkg" / "leakage_spec.json")
+        assert ("key", "disk") in spec.forbidden_pairs()
+
+    def test_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "leakage_spec.json"
+        bad.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_spec(bad)
+
+    def test_missing_package_raises(self, tmp_path):
+        bad = tmp_path / "leakage_spec.json"
+        bad.write_text(json.dumps({"taints": {}}))
+        with pytest.raises(AnalysisError):
+            load_spec(bad)
+
+    def test_unknown_sink_category_raises(self, tmp_path):
+        bad = tmp_path / "leakage_spec.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "package": "p",
+                    "sinks": [
+                        {"callable": "p.f", "sink": "s", "category": "bogus"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(AnalysisError):
+            load_spec(bad)
+
+    def test_undeclared_taint_in_source_raises(self, tmp_path):
+        bad = tmp_path / "leakage_spec.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "package": "p",
+                    "taints": {"plaintext": "x"},
+                    "sources": [
+                        {"callable": "p.f", "taint": "nope", "via": "return"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(AnalysisError):
+            load_spec(bad)
+
+
+class TestFixturePackages:
+    def test_clean_package_passes(self):
+        report = run_fixture("clean_pkg")
+        assert report.exit_code == 0
+        assert not report.violations
+        assert [(f.taint, f.sink) for f in report.flows] == [("plaintext", "log")]
+
+    def test_undocumented_flow_fails(self):
+        report = run_fixture("bad_flow_pkg")
+        assert report.exit_code == 1
+        rules = {v.rule for v in report.violations}
+        assert rules == {"undocumented-flow"}
+        # The flow itself is still observed and reported.
+        assert [(f.taint, f.sink) for f in report.flows] == [("plaintext", "log")]
+
+    def test_key_to_persistence_fails_despite_allowlist(self):
+        report = run_fixture("bad_key_pkg")
+        assert report.exit_code == 1
+        key_violations = [
+            v for v in report.violations if v.rule == "key-hygiene"
+        ]
+        # One for the observed flow, one for the allowlist attempt itself.
+        assert len(key_violations) == 2
+        messages = " ".join(v.message for v in key_violations)
+        assert "never be documented away" in messages
+
+    def test_unguarded_release_point_fails(self):
+        report = run_fixture("bad_free_pkg")
+        assert report.exit_code == 1
+        rules = {v.rule for v in report.violations}
+        assert rules == {"secure-deletion"}
+        (violation,) = report.violations
+        assert "secure_delete" in violation.message
+        assert violation.function == "bad_free_pkg.app.process"
+
+
+class TestCli:
+    def test_clean_fixture_json_output(self, capsys):
+        rc = lint_main(
+            [
+                "--spec",
+                str(FIXTURES / "clean_pkg" / "leakage_spec.json"),
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["package"] == "clean_pkg"
+        assert payload["flows"][0]["documented"] is True
+
+    def test_bad_fixture_text_output(self, capsys):
+        rc = lint_main(
+            ["--spec", str(FIXTURES / "bad_flow_pkg" / "leakage_spec.json")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "undocumented flow" in out
+
+    def test_missing_spec_is_usage_error(self, capsys):
+        rc = lint_main(["--spec", "/nonexistent/leakage_spec.json"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_spec_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "leakage_spec.json"
+        bad.write_text("{not json")
+        rc = lint_main(["--spec", str(bad)])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_explicit_package_dir(self, capsys):
+        rc = lint_main(
+            [
+                "--spec",
+                str(FIXTURES / "clean_pkg" / "leakage_spec.json"),
+                "--package-dir",
+                str(FIXTURES / "clean_pkg" / "src" / "clean_pkg"),
+            ]
+        )
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def repo_report():
+    return run_analysis(
+        REPO_ROOT / "src" / "repro", "repro", REPO_ROOT / "leakage_spec.json"
+    )
+
+
+class TestRealTree:
+    """The shipped tree must satisfy its own leakage spec."""
+
+    def test_shipped_tree_is_clean(self, repo_report):
+        assert repo_report.violations == []
+        assert repo_report.exit_code == 0
+        assert not repo_report.warnings
+        assert not repo_report.stale_documented
+
+    def test_core_paper_flows_are_observed(self, repo_report):
+        pairs = {(f.taint, f.sink) for f in repo_report.flows}
+        # E1/E3: plaintext persists in the recovery logs and binlog.
+        assert ("plaintext", "redo_log") in pairs
+        assert ("plaintext", "binlog") in pairs
+        # E12: key material appears in memory and in the snapshot capture.
+        assert ("key", "heap") in pairs
+        assert ("key", "snapshot") in pairs
+
+    def test_key_never_reaches_persistence(self, repo_report):
+        spec = repo_report.spec
+        for flow in repo_report.flows:
+            if flow.taint in spec.key_taints:
+                assert flow.category not in spec.forbidden_categories
+
+    def test_every_flow_is_documented(self, repo_report):
+        documented = repo_report.spec.documented_pairs()
+        for flow in repo_report.flows:
+            assert (flow.taint, flow.sink) in documented

@@ -31,7 +31,7 @@ class ReferenceTable:
 
     def update_score(self, low, high, score):
         changed = 0
-        for key, (name, old) in sorted(self.rows.items()):
+        for key, (name, _old) in sorted(self.rows.items()):
             if low <= key <= high:
                 self.rows[key] = (name, score)
                 self.write_log.append(("update", key))

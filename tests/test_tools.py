@@ -107,3 +107,34 @@ class TestMemscanTool:
         rc = memscan.main([str(artifact_dir / "memory.dump"), "--tokens"])
         assert rc == 0
         assert "candidate tokens" in capsys.readouterr().out
+
+
+class TestErrorExitCodes:
+    """Every tool reports input errors on stderr and exits 2."""
+
+    def test_binlog_missing_file(self, tmp_path, capsys):
+        rc = binlog_dump.main([str(tmp_path / "nope.txt")])
+        assert rc == 2
+        assert "repro-binlog:" in capsys.readouterr().err
+
+    def test_bufferpool_missing_file(self, tmp_path, capsys):
+        rc = bufferpool.main([str(tmp_path / "nope")])
+        assert rc == 2
+        assert "repro-bufferpool:" in capsys.readouterr().err
+
+    def test_logparse_missing_file(self, tmp_path, capsys):
+        rc = logparse.main(["--redo", str(tmp_path / "nope.log")])
+        assert rc == 2
+        assert "repro-logparse:" in capsys.readouterr().err
+
+    def test_memscan_missing_file(self, tmp_path, capsys):
+        rc = memscan.main([str(tmp_path / "nope.dump")])
+        assert rc == 2
+        assert "repro-memscan:" in capsys.readouterr().err
+
+    def test_demo_out_dir_collides_with_file(self, tmp_path, capsys):
+        blocker = tmp_path / "out"
+        blocker.write_text("not a directory")
+        rc = demo.main([str(blocker)])
+        assert rc == 2
+        assert "repro-demo:" in capsys.readouterr().err
