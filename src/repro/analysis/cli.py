@@ -92,11 +92,29 @@ def main(argv=None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
+    rc = report.exit_code
+
+    # Registry ↔ spec surface gate: only when the spec opts in by
+    # declaring snapshot_artifacts. Import failures while building the
+    # registry are input errors, like an unparseable spec.
+    if report.spec.snapshot_artifacts:
+        try:
+            from .registry_gate import registry_spec_problems
+
+            problems = registry_spec_problems(report.spec)
+        except Exception as exc:  # registry import/build failure
+            print(f"repro-lint: registry gate failed: {exc}", file=sys.stderr)
+            return 2
+        if problems:
+            for problem in problems:
+                print(f"repro-lint: {problem}", file=sys.stderr)
+            rc = max(rc, 1)
+
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.to_text())
-    return report.exit_code
+    return rc
 
 
 if __name__ == "__main__":

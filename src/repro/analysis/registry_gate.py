@@ -1,0 +1,71 @@
+"""Registry ↔ leakage-spec cross-check (the repro-lint surface gate).
+
+The artifact registry (:mod:`repro.snapshot.registry`) is the code's
+inventory of leakage surfaces; the spec's ``snapshot_artifacts`` section is
+the documentation's. This gate diffs the two so they cannot drift: a
+provider the spec does not declare fails the build, as does a declared
+artifact no provider registers, or any disagreement on backend, quadrant,
+artifact class, or contributing sink ids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .spec import LeakageSpec
+
+
+def registry_spec_problems(
+    spec: LeakageSpec, registry: Optional[object] = None
+) -> List[str]:
+    """Human-readable mismatches between the registry and the spec.
+
+    Empty list means the two inventories agree. ``registry`` defaults to
+    the shipped :func:`repro.snapshot.registry.default_registry` (imported
+    lazily so the analysis package itself stays importable without the
+    simulated-system packages).
+    """
+    if registry is None:
+        from ..snapshot.registry import default_registry
+
+        registry = default_registry()
+
+    problems: List[str] = []
+    declared = {art.name: art for art in spec.snapshot_artifacts}
+    registered = {provider.name: provider for provider in registry}
+
+    for name in sorted(set(registered) - set(declared)):
+        problems.append(
+            f"registered artifact {name!r} has no snapshot_artifacts entry "
+            f"in {spec.path or 'the leakage spec'}"
+        )
+    for name in sorted(set(declared) - set(registered)):
+        problems.append(
+            f"spec declares snapshot artifact {name!r} but no provider "
+            f"registers it"
+        )
+
+    for name in sorted(set(declared) & set(registered)):
+        art = declared[name]
+        provider = registered[name]
+        if art.backend != provider.backend:
+            problems.append(
+                f"artifact {name!r}: spec backend {art.backend!r} != "
+                f"registered backend {provider.backend!r}"
+            )
+        if art.quadrant != provider.quadrant.value:
+            problems.append(
+                f"artifact {name!r}: spec quadrant {art.quadrant!r} != "
+                f"registered quadrant {provider.quadrant.value!r}"
+            )
+        if art.artifact_class != provider.artifact_class:
+            problems.append(
+                f"artifact {name!r}: spec class {art.artifact_class!r} != "
+                f"registered class {provider.artifact_class!r}"
+            )
+        if tuple(sorted(art.sinks)) != tuple(sorted(provider.spec_sinks)):
+            problems.append(
+                f"artifact {name!r}: spec sinks {sorted(art.sinks)} != "
+                f"registered sinks {sorted(provider.spec_sinks)}"
+            )
+    return problems

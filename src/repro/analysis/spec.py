@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..errors import AnalysisError
+from ..snapshot.scenario import ARTIFACT_COLUMNS, StateQuadrant
 
 #: Every sink must declare one of these categories. ``persistence`` sinks
 #: survive restart (logs, tablespaces); ``memory`` sinks are heap-resident;
@@ -79,6 +80,29 @@ class DocumentedFlow:
     note: str = ""
 
 
+#: Legal values for snapshot-artifact declarations (Figure 1's axes),
+#: taken from the canonical enums so the spec cannot drift from them.
+ARTIFACT_QUADRANTS = tuple(q.value for q in StateQuadrant)
+ARTIFACT_CLASSES = ARTIFACT_COLUMNS
+
+
+@dataclass(frozen=True)
+class SnapshotArtifactSpec:
+    """One declared snapshot artifact, cross-checked against the registry.
+
+    ``repro-lint`` fails when the code registers an artifact the spec does
+    not declare, or vice versa, or when the declared quadrant / class /
+    backend / sink list disagrees with the registered provider.
+    """
+
+    name: str
+    backend: str
+    quadrant: str
+    artifact_class: str
+    sinks: Tuple[str, ...] = ()
+    note: str = ""
+
+
 @dataclass
 class LeakageSpec:
     """The parsed spec plus derived lookup structure."""
@@ -93,6 +117,7 @@ class LeakageSpec:
     release_points: Tuple[str, ...] = ()
     sanitizers: Tuple[str, ...] = ()
     artifacts: Tuple[str, ...] = ()
+    snapshot_artifacts: List[SnapshotArtifactSpec] = field(default_factory=list)
     path: str = ""
 
     def documented_pairs(self) -> Set[Tuple[str, str]]:
@@ -155,6 +180,29 @@ class LeakageSpec:
                     f"documented flow {doc.taint}->{doc.sink}: unknown sink "
                     f"id {doc.sink!r}"
                 )
+        seen_artifacts: Set[str] = set()
+        for art in self.snapshot_artifacts:
+            if art.name in seen_artifacts:
+                problems.append(
+                    f"snapshot artifact {art.name!r} declared twice"
+                )
+            seen_artifacts.add(art.name)
+            if art.quadrant not in ARTIFACT_QUADRANTS:
+                problems.append(
+                    f"snapshot artifact {art.name}: unknown quadrant "
+                    f"{art.quadrant!r}"
+                )
+            if art.artifact_class not in ARTIFACT_CLASSES:
+                problems.append(
+                    f"snapshot artifact {art.name}: unknown artifact class "
+                    f"{art.artifact_class!r}"
+                )
+            for sink_id in art.sinks:
+                if sink_id not in ids:
+                    problems.append(
+                        f"snapshot artifact {art.name}: unknown sink id "
+                        f"{sink_id!r}"
+                    )
         return problems
 
 
@@ -252,6 +300,26 @@ def load_spec(path) -> LeakageSpec:
                 f"{path}: documented_flows[{i}] malformed: {exc}"
             ) from exc
 
+    snapshot_artifacts = []
+    for i, entry in enumerate(raw.get("snapshot_artifacts", [])):
+        try:
+            snapshot_artifacts.append(
+                SnapshotArtifactSpec(
+                    name=entry["name"],
+                    backend=entry.get("backend", "mysql"),
+                    quadrant=entry["quadrant"],
+                    artifact_class=entry["class"],
+                    sinks=_as_tuple(
+                        entry.get("sinks"), f"snapshot_artifacts[{i}].sinks"
+                    ),
+                    note=entry.get("note", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(
+                f"{path}: snapshot_artifacts[{i}] malformed: {exc}"
+            ) from exc
+
     spec = LeakageSpec(
         package=package,
         taints=dict(raw.get("taints", {})),
@@ -265,6 +333,7 @@ def load_spec(path) -> LeakageSpec:
         release_points=_as_tuple(raw.get("release_points"), "release_points"),
         sanitizers=_as_tuple(raw.get("sanitizers"), "sanitizers"),
         artifacts=_as_tuple(raw.get("artifacts"), "artifacts"),
+        snapshot_artifacts=snapshot_artifacts,
         path=str(path),
     )
     problems = spec.validate()

@@ -23,6 +23,12 @@ Precision notes (what keeps the false-positive rate workable):
   does not make every string it formats key-tainted.
 - Calls that cannot be resolved conservatively return the union of argument
   and receiver kinds.
+- First-class *function references* are tracked through dataclass fields:
+  ``Provider(capture=_capture_redo_log)`` records the function under
+  ``attr_funcs[(Provider, "capture")]``, and a later ``provider.capture(x)``
+  invokes every recorded callee — this is how the snapshot artifact registry
+  stays visible to the analyzer instead of laundering flows through an
+  opaque callable.
 """
 
 from __future__ import annotations
@@ -59,7 +65,7 @@ _CLEAN_BUILTINS = {
 class Value:
     """Abstract value: taint kinds + best-known static type."""
 
-    __slots__ = ("kinds", "type", "elem", "attr_ref", "elems")
+    __slots__ = ("kinds", "type", "elem", "attr_ref", "elems", "funcs")
 
     def __init__(
         self,
@@ -68,6 +74,7 @@ class Value:
         elem: Optional[str] = None,
         attr_ref: Optional[Tuple[str, str]] = None,
         elems: Optional[Tuple[Optional[str], ...]] = None,
+        funcs: FrozenSet[str] = _EMPTY,
     ) -> None:
         self.kinds = kinds
         self.type = type
@@ -76,6 +83,9 @@ class Value:
         # Per-position classes of a ``Tuple[A, B]`` return, so unpacking
         # assignments type each target.
         self.elems = elems
+        # Function qualnames this value may refer to (first-class function
+        # references, e.g. a capture callable stored in a provider field).
+        self.funcs = funcs
 
 
 EMPTY_VALUE = Value()
@@ -128,6 +138,8 @@ class TaintEngine:
         self.param_kinds: Dict[str, Dict[str, Set[str]]] = {}
         self.return_kinds: Dict[str, Set[str]] = {}
         self.attr_kinds: Dict[Tuple[str, str], Set[str]] = {}
+        #: (class, attr) -> function qualnames ever stored in that field.
+        self.attr_funcs: Dict[Tuple[str, str], Set[str]] = {}
         self.callers: Dict[str, Set[str]] = {}
         self.attr_readers: Dict[Tuple[str, str], Set[str]] = {}
 
@@ -360,6 +372,7 @@ class TaintEngine:
                     value.type or old.type,
                     value.elem or old.elem,
                     value.attr_ref or old.attr_ref,
+                    funcs=old.funcs | value.funcs,
                 )
         elif isinstance(target, (ast.Tuple, ast.List)):
             if value.elems is not None and len(value.elems) == len(target.elts):
@@ -412,6 +425,22 @@ class TaintEngine:
         store.update(new)
         for kind in new:
             self.attr_origin.setdefault((cls, attr, kind), (self.current, line))
+        for mro_cls in (cls, *self.resolver.mro(cls)):
+            for reader in self.attr_readers.get((mro_cls, attr), ()):
+                self._enqueue(reader)
+
+    def _write_attr_funcs(
+        self, cls: str, attr: str, funcs: FrozenSet[str]
+    ) -> None:
+        """Record function references stored into a dataclass field so a
+        later ``obj.attr(...)`` call can invoke them."""
+        if not funcs:
+            return
+        store = self.attr_funcs.setdefault((cls, attr), set())
+        new = set(funcs) - store
+        if not new:
+            return
+        store.update(new)
         for mro_cls in (cls, *self.resolver.mro(cls)):
             for reader in self.attr_readers.get((mro_cls, attr), ()):
                 self._enqueue(reader)
@@ -528,12 +557,17 @@ class TaintEngine:
 
     def _global_value(self, name: str) -> Value:
         """Type a module-level constant, local or imported (e.g. the shared
-        ``NO_OP_INSTRUMENTATION`` singleton)."""
+        ``NO_OP_INSTRUMENTATION`` singleton), or a function reference."""
+        fn_local = self._module.functions.get(name)
+        if fn_local is not None:
+            return Value(funcs=frozenset((fn_local,)))
         const = self._module.constants.get(name)
         defmod = self._module
         if const is None and name in self._module.imports:
             qual = self.resolver.canonical(self._module.imports[name])
-            if qual in self.index.functions or qual in self.index.classes:
+            if qual in self.index.functions:
+                return Value(funcs=frozenset((qual,)))
+            if qual in self.index.classes:
                 return EMPTY_VALUE
             prefix, _, leaf = qual.rpartition(".")
             other = self.index.modules.get(prefix)
@@ -583,12 +617,14 @@ class TaintEngine:
         # top of the attribute summary: ``ashe_ct.value`` is still the
         # ciphertext even when the field summary only saw PRF outputs.
         kinds: Set[str] = set(base.kinds - self.key_kinds)
+        funcs: Set[str] = set()
         attr_ref: Optional[Tuple[str, str]] = None
         for cls in self.resolver.mro(base.type):
             key = (cls, attr)
             self.attr_readers.setdefault(key, set()).add(self.current)
             self.fn_attr_reads.setdefault(self.current, set()).add(key)
             kinds.update(self.attr_kinds.get(key, ()))
+            funcs.update(self.attr_funcs.get(key, ()))
             if attr_ref is None and (
                 key in self.resolver.attr_types
                 or key in self.resolver.attr_elems
@@ -600,6 +636,7 @@ class TaintEngine:
             self.resolver.attr_type(base.type, attr),
             self.resolver.attr_elem(base.type, attr),
             attr_ref or (base.type, attr),
+            funcs=frozenset(funcs),
         )
 
     def _property_read(self, method: FunctionInfo) -> Value:
@@ -667,6 +704,24 @@ class TaintEngine:
         else:
             self._expr(func, env)
 
+        # First-class function references: ``provider.capture(server)`` or a
+        # local ``fn(server)`` where ``fn`` holds functions recorded through
+        # dataclass fields / module globals.
+        callee_funcs: FrozenSet[str] = _EMPTY
+        if target is None:
+            if isinstance(func, ast.Name):
+                bound = env.get(func.id)
+                if bound is not None:
+                    callee_funcs = bound.funcs
+                else:
+                    callee_funcs = self._global_value(func.id).funcs
+            elif (
+                isinstance(func, ast.Attribute)
+                and receiver is not None
+                and receiver.type is not None
+            ):
+                callee_funcs = self._attr(func, env).funcs
+
         arg_values = [self._expr(a, env) for a in node.args]
         kw_values = [(kw.arg, self._expr(kw.value, env)) for kw in node.keywords]
         all_kinds: FrozenSet[str] = _EMPTY
@@ -674,6 +729,20 @@ class TaintEngine:
             all_kinds |= v.kinds
         for _, v in kw_values:
             all_kinds |= v.kinds
+
+        if target is None and callee_funcs:
+            merged: Set[str] = set()
+            mtype: Optional[str] = None
+            melem: Optional[str] = None
+            for fq in sorted(callee_funcs):
+                stored = self._callable_function(fq)
+                if stored is None:
+                    continue
+                value = self._invoke(node, stored, arg_values, kw_values, all_kinds)
+                merged.update(value.kinds)
+                mtype = mtype or value.type
+                melem = melem or value.elem
+            return Value(frozenset(merged), mtype, melem)
 
         if target in self.index.classes:
             return self._construct(node, target, arg_values, kw_values, all_kinds)
@@ -738,14 +807,19 @@ class TaintEngine:
                     self._write_attr(
                         cls_qual, field_names[i], value.kinds, node.lineno
                     )
+                if i < len(field_names) and value.funcs:
+                    self._write_attr_funcs(cls_qual, field_names[i], value.funcs)
             for name, value in kw_values:
-                if not value.kinds:
+                if not value.kinds and not value.funcs:
                     continue
                 if name is None:  # **kwargs: may populate any field
                     for fname in field_names:
                         self._write_attr(cls_qual, fname, value.kinds, node.lineno)
                 elif name in field_names:
-                    self._write_attr(cls_qual, name, value.kinds, node.lineno)
+                    if value.kinds:
+                        self._write_attr(cls_qual, name, value.kinds, node.lineno)
+                    if value.funcs:
+                        self._write_attr_funcs(cls_qual, name, value.funcs)
         sink = self.sinks.get(cls_qual)
         if sink is not None:
             self._hit_sink(sink, cls_qual, all_kinds, node.lineno)

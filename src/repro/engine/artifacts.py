@@ -1,0 +1,98 @@
+"""Engine-layer snapshot artifacts: on-disk logs (paper §3, §4).
+
+Every write-ahead / recovery / replication log the storage engine maintains
+is persistent DB state: disk theft alone yields it, and the forensic
+readers in :mod:`repro.forensics` reconstruct plaintext history from it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..server import MySQLServer
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+
+
+def _capture_redo_log(server: MySQLServer) -> bytes:
+    return server.engine.redo_log.raw_bytes()
+
+
+def _capture_undo_log(server: MySQLServer) -> bytes:
+    return server.engine.undo_log.raw_bytes()
+
+
+def _capture_binlog_events(server: MySQLServer) -> tuple:
+    return tuple(server.engine.binlog.events)
+
+
+def _capture_binlog_text(server: MySQLServer) -> str:
+    return server.engine.binlog.to_text()
+
+
+def _capture_general_log(server: MySQLServer) -> tuple:
+    return tuple(server.general_log.entries)
+
+
+def _capture_slow_log(server: MySQLServer) -> tuple:
+    return tuple(server.slow_log.entries)
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The engine's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="redo_log_raw",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_redo_log,
+            spec_sinks=("redo_log",),
+            forensic_reader="repro.forensics.redo_undo.parse_redo_log",
+        ),
+        ArtifactProvider(
+            name="undo_log_raw",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_undo_log,
+            spec_sinks=("undo_log",),
+            forensic_reader="repro.forensics.redo_undo.parse_undo_log",
+        ),
+        ArtifactProvider(
+            name="binlog_events",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_binlog_events,
+            spec_sinks=("binlog",),
+            forensic_reader="repro.forensics.binlog_reader.fit_lsn_timestamp_model",
+        ),
+        ArtifactProvider(
+            name="binlog_text",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_binlog_text,
+            spec_sinks=("binlog",),
+            forensic_reader="repro.forensics.binlog_reader.read_binlog_text",
+        ),
+        ArtifactProvider(
+            name="general_log_entries",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_general_log,
+            spec_sinks=("general_log",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+        ArtifactProvider(
+            name="slow_log_entries",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_slow_log,
+            spec_sinks=("slow_log",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+    )

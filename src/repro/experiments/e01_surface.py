@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..server import MySQLServer, ServerConfig
-from ..snapshot import AttackScenario, capture
+from ..snapshot import AttackScenario, capture, default_registry
 from ..snapshot.scenario import ARTIFACT_COLUMNS, access_matrix
 
 
@@ -60,18 +60,32 @@ def _loaded_server() -> MySQLServer:
     return server
 
 
+def _non_empty(value: object) -> bool:
+    """Whether a captured artifact actually carries content."""
+    if value is None:
+        return False
+    if isinstance(value, (bytes, str, tuple, list, dict)):
+        return len(value) > 0
+    return True
+
+
 def run_attack_surface() -> SurfaceResult:
-    """Capture all four scenarios and probe each for the artifact classes."""
+    """Capture all four scenarios and probe each for the artifact classes.
+
+    The probed artifact names come from the registry, not a hand list: a
+    matrix cell is checked iff any registered provider of that class
+    yielded a non-empty value in the scenario's snapshot.
+    """
     server = _loaded_server()
+    registry = default_registry()
     measured: Dict[AttackScenario, Dict[str, bool]] = {}
     for scenario in AttackScenario:
         snap = capture(server, scenario)
         measured[scenario] = {
-            # On-disk logs: the redo log is representative of the class.
-            "logs": snap.redo_log_raw is not None and len(snap.redo_log_raw) > 0,
-            # Queryable diagnostic tables.
-            "diagnostic_tables": bool(snap.digest_summaries),
-            # Raw in-memory data structures.
-            "data_structures": snap.memory_dump is not None,
+            column: any(
+                _non_empty(snap.get(provider.name))
+                for provider in registry.by_class(column, backend="mysql")
+            )
+            for column in ARTIFACT_COLUMNS
         }
     return SurfaceResult(measured=measured, expected=access_matrix())

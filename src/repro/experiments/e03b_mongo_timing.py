@@ -21,7 +21,8 @@ from typing import Dict
 
 from ..clock import SimClock
 from ..mongo import DocumentStore, creation_times_from_ids
-from ..mongo.forensics import capture_disk, write_rate_timeline
+from ..mongo.forensics import capture_mongo, write_rate_timeline
+from ..snapshot import AttackScenario
 
 
 @dataclass(frozen=True)
@@ -58,16 +59,18 @@ def run_mongo_timing(
                 truth[oid.hex()] = clock.timestamp()
         clock.advance(3600)
 
-    artifacts = capture_disk(store)
+    snap = capture_mongo(store, AttackScenario.DISK_THEFT)
+    oplog_entries = snap.require("mongo_oplog_entries")
+    collection_ids = snap.require("mongo_collection_ids")
 
     # Recovery 1: the oplog's exact write history + activity rhythm.
-    timeline = write_rate_timeline(artifacts.oplog_entries, bucket_seconds=3600)
+    timeline = write_rate_timeline(oplog_entries, bucket_seconds=3600)
     window = store.oplog.window()
     window_seconds = (window[1] - window[0]) if window else 0
 
     # Recovery 2: ObjectIds alone ("even without this log").
     recovered = dict(
-        creation_times_from_ids(artifacts.collection_ids.get("events", ()))
+        creation_times_from_ids(collection_ids.get("events", ()))
     )
     exact = all(
         recovered.get(hex_id) == stamp for hex_id, stamp in truth.items()
@@ -75,7 +78,7 @@ def run_mongo_timing(
 
     return MongoTimingResult(
         documents_inserted=len(truth),
-        oplog_retained=len(artifacts.oplog_entries),
+        oplog_retained=len(oplog_entries),
         oplog_window_seconds=window_seconds,
         objectid_times_exact=exact,
         burst_hours_detected=len(timeline),

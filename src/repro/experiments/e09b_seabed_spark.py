@@ -21,8 +21,9 @@ from typing import Dict, List
 from ..attacks import frequency_analysis
 from ..crypto.ashe import AsheCipher
 from ..crypto.primitives import derive_key
+from ..snapshot import AttackScenario
 from ..spark import MiniSparkCluster
-from ..spark.forensics import query_histogram, scan_executor_heaps
+from ..spark.forensics import capture_spark, query_histogram, scan_executor_heaps
 from ..workloads import zipf_frequencies, zipf_point_queries
 
 #: Keep ASHE ciphertext values comfortably inside int range for summing.
@@ -95,9 +96,9 @@ def run_seabed_on_spark(
         if ciphers[name].decrypt(total) != rows_per_value:
             counts_ok = False
 
-    # --- attacker: the persisted event log -----------------------------------
-    jsonl = cluster.event_log.to_jsonl()
-    histogram_text = query_histogram(jsonl)
+    # --- attacker: the persisted event log (disk-theft snapshot) --------------
+    snap = capture_spark(cluster, AttackScenario.DISK_THEFT)
+    histogram_text = query_histogram(snap.require("spark_event_log"))
     pattern = re.compile(r"ashe_sum\((c\d+)\)")
     observed: Dict[str, int] = {}
     for text, count in histogram_text.items():

@@ -1,0 +1,35 @@
+"""Memory-layer snapshot artifact: the process heap dump (paper §5).
+
+Wrapping the heap arena in a :class:`MemoryDump` is the capture moment —
+the point where every heap-resident secret (net buffers, query arena,
+cached results, key bytes) crosses into the attacker-visible artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..server import MySQLServer
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+from .dump import MemoryDump
+
+
+def _capture_memory_dump(server: MySQLServer) -> MemoryDump:
+    return MemoryDump(server.heap.snapshot())
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The memory layer's registered leakage surface."""
+    return (
+        ArtifactProvider(
+            name="memory_dump",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_memory_dump,
+            requires_escalation=True,
+            spec_sinks=("heap",),
+            forensic_reader="repro.forensics.memory_scan.scan_for_query",
+        ),
+    )

@@ -25,6 +25,7 @@ from .oplog import Oplog, OplogEntry
 from .store import DocumentStore, ProfileEntry
 from .forensics import (
     MongoDiskArtifacts,
+    capture_mongo,
     creation_times_from_ids,
     reconstruct_oplog_history,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "DocumentStore",
     "ProfileEntry",
     "MongoDiskArtifacts",
+    "capture_mongo",
     "creation_times_from_ids",
     "reconstruct_oplog_history",
 ]

@@ -1,0 +1,100 @@
+"""MongoDB snapshot artifacts: the document store's leakage surfaces.
+
+Same Figure-1 taxonomy, different system (paper §3/§4 analogs): the oplog,
+the ``_id`` index, the stored documents, and ``system.profile`` are
+persistent DB state; ``currentOp()`` / ``serverStatus()`` are queryable
+diagnostics. Registered under backend ``"mongo"`` so
+:func:`repro.snapshot.capture.capture` walks them with the same
+scenario/quadrant gating as MySQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+from .store import DocumentStore
+
+
+def _capture_oplog(store: DocumentStore) -> tuple:
+    return tuple(store.oplog.entries)
+
+
+def _capture_collection_ids(store: DocumentStore) -> Dict[str, tuple]:
+    return {
+        name: tuple(sorted(store.all_ids(name)))
+        for name in store.server_status()["collections"]
+    }
+
+
+def _capture_documents(store: DocumentStore) -> Dict[str, Dict[str, dict]]:
+    return store.dump_documents()
+
+
+def _capture_profile(store: DocumentStore) -> tuple:
+    return tuple(store.profile_entries())
+
+
+def _capture_current_op(store: DocumentStore) -> Optional[Dict[str, Any]]:
+    return store.current_op()
+
+
+def _capture_server_status(store: DocumentStore) -> Dict[str, Any]:
+    return store.server_status()
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The document store's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="mongo_oplog_entries",
+            backend="mongo",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_oplog,
+            spec_sinks=("mongo_oplog",),
+            forensic_reader="repro.mongo.forensics.reconstruct_oplog_history",
+        ),
+        ArtifactProvider(
+            name="mongo_collection_ids",
+            backend="mongo",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_collection_ids,
+            forensic_reader="repro.mongo.forensics.creation_times_from_ids",
+        ),
+        ArtifactProvider(
+            name="mongo_documents",
+            backend="mongo",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_documents,
+            forensic_reader="repro.mongo.forensics",
+        ),
+        ArtifactProvider(
+            name="mongo_profile_entries",
+            backend="mongo",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_profile,
+            spec_sinks=("mongo_profile",),
+            forensic_reader="repro.mongo.forensics",
+        ),
+        ArtifactProvider(
+            name="mongo_current_op",
+            backend="mongo",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_current_op,
+            forensic_reader="repro.mongo.forensics",
+        ),
+        ArtifactProvider(
+            name="mongo_server_status",
+            backend="mongo",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_server_status,
+            forensic_reader="repro.mongo.forensics.write_rate_timeline",
+        ),
+    )

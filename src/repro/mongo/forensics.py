@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ForensicsError
+from ..snapshot import AttackScenario, Snapshot, capture
 from .objectid import ObjectId
 from .oplog import OplogEntry
 from .store import DocumentStore
@@ -29,15 +30,37 @@ class MongoDiskArtifacts:
     profile_entries: Tuple[object, ...]
 
 
+def capture_mongo(
+    store: DocumentStore,
+    scenario: AttackScenario,
+    escalated: bool = False,
+    full_state: bool = True,
+) -> Snapshot:
+    """Capture the state ``scenario`` reveals from a document store.
+
+    Same registry walk and quadrant gating as the MySQL path — the Mongo
+    providers are just registered under backend ``"mongo"``.
+    """
+    return capture(
+        store,
+        scenario,
+        escalated=escalated,
+        full_state=full_state,
+        backend="mongo",
+    )
+
+
 def capture_disk(store: DocumentStore) -> MongoDiskArtifacts:
-    """Capture the persistent artifacts of a document store."""
+    """Capture the persistent artifacts of a document store.
+
+    Thin shim over the generic disk-theft snapshot, kept for the
+    forensics-facing API.
+    """
+    snap = capture_mongo(store, AttackScenario.DISK_THEFT)
     return MongoDiskArtifacts(
-        oplog_entries=tuple(store.oplog.entries),
-        collection_ids={
-            name: tuple(sorted(store.all_ids(name)))
-            for name in store.server_status()["collections"]
-        },
-        profile_entries=tuple(store.profile_entries()),
+        oplog_entries=snap.require("mongo_oplog_entries"),
+        collection_ids=snap.require("mongo_collection_ids"),
+        profile_entries=snap.require("mongo_profile_entries"),
     )
 
 

@@ -188,6 +188,13 @@ class DocumentStore:
         """The ``_id`` index contents — present in any data-directory theft."""
         return [doc["_id"] for doc in self._coll(collection).values()]
 
+    def dump_documents(self) -> Dict[str, Dict[str, Document]]:
+        """Every stored document, per collection — the data-directory image."""
+        return {
+            name: {key: dict(doc) for key, doc in docs.items()}
+            for name, docs in self._collections.items()
+        }
+
     # -- diagnostics (paper §4 analogs) ------------------------------------------
 
     def profile_entries(self) -> List[ProfileEntry]:

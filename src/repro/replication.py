@@ -20,11 +20,33 @@ attack-surface benchmark quantifies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .clock import SimClock
+from .engine.binlog import BinlogEvent
 from .errors import ReproError
 from .server import MySQLServer, QueryResult, ServerConfig, Session
+from .snapshot.registry import ArtifactProvider
+from .snapshot.scenario import StateQuadrant
+
+
+class RelayLog:
+    """A replica's relay log: the shipped binlog events, persisted again.
+
+    MySQL replicas write every event received from the primary to an
+    on-disk relay log before applying it — one more durable copy of every
+    statement, on every machine. Snapshot of *any* replica yields it.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[BinlogEvent] = []
+
+    def append(self, event: BinlogEvent) -> None:
+        self.entries.append(event)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.entries)
 
 
 @dataclass(frozen=True)
@@ -61,6 +83,8 @@ class ReplicatedDeployment:
         self.replicas: List[MySQLServer] = [
             MySQLServer(base, clock=self.clock) for _ in range(num_replicas)
         ]
+        for replica in self.replicas:
+            replica.relay_log = RelayLog()
         self._replica_sessions: List[Session] = [
             replica.connect("replication") for replica in self.replicas
         ]
@@ -86,6 +110,7 @@ class ReplicatedDeployment:
         new_events = events[self._shipped :]
         for event in new_events:
             for index, replica in enumerate(self.replicas):
+                replica.relay_log.append(event)
                 replica.execute(self._replica_sessions[index], event.statement)
                 self._applied[index] += 1
         self._shipped = len(events)
@@ -104,3 +129,35 @@ class ReplicatedDeployment:
     def all_machines(self) -> List[MySQLServer]:
         """Primary + replicas: each one an independent, complete target."""
         return [self.primary, *self.replicas]
+
+
+# -- snapshot artifacts ------------------------------------------------------
+
+
+def _has_relay_log(server: MySQLServer) -> bool:
+    return getattr(server, "relay_log", None) is not None
+
+
+def _capture_relay_log(server: MySQLServer) -> tuple:
+    return tuple(server.relay_log.entries)
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The replication layer's registered leakage surface.
+
+    Only replicas carry a relay log, so the provider is gated on the
+    target actually having one — snapshotting a standalone primary yields
+    no ``relay_log_events`` artifact.
+    """
+    return (
+        ArtifactProvider(
+            name="relay_log_events",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_relay_log,
+            enabled=_has_relay_log,
+            spec_sinks=("binlog",),
+            forensic_reader="repro.forensics.binlog_reader.fit_lsn_timestamp_model",
+        ),
+    )

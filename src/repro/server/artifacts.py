@@ -1,0 +1,100 @@
+"""Server-layer snapshot artifacts: diagnostic tables and internal caches.
+
+performance_schema / information_schema rows are *queryable* diagnostic
+tables — in-band for any SQL-speaking attacker. The query cache and the
+adaptive hash index are "strictly internal to MySQL" (paper §5): SQL
+injection reaches them only after the code-execution escalation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from . import MySQLServer
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+
+
+def _capture_statements_current(server: MySQLServer) -> tuple:
+    return tuple(server.perf_schema.events_statements_current())
+
+
+def _capture_statements_history(server: MySQLServer) -> tuple:
+    return tuple(server.perf_schema.events_statements_history())
+
+
+def _capture_digest_summaries(server: MySQLServer) -> tuple:
+    return tuple(server.perf_schema.events_statements_summary_by_digest())
+
+
+def _capture_processlist(server: MySQLServer) -> tuple:
+    return tuple(server.info_schema.processlist(server.clock.timestamp()))
+
+
+def _capture_query_cache(server: MySQLServer) -> tuple:
+    return tuple(server.query_cache.statements)
+
+
+def _capture_adaptive_hash(server: MySQLServer) -> tuple:
+    return tuple(server.adaptive_hash.hot_keys())
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The server layer's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="statements_current",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_statements_current,
+            spec_sinks=("performance_schema",),
+            forensic_reader="repro.forensics.diagnostics.extract_diagnostics_via_injection",
+        ),
+        ArtifactProvider(
+            name="statements_history",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_statements_history,
+            spec_sinks=("performance_schema",),
+            forensic_reader="repro.forensics.diagnostics.extract_diagnostics_via_injection",
+        ),
+        ArtifactProvider(
+            name="digest_summaries",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_digest_summaries,
+            spec_sinks=("performance_schema",),
+            forensic_reader="repro.forensics.diagnostics.extract_diagnostics_via_injection",
+        ),
+        ArtifactProvider(
+            name="processlist",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="diagnostic_tables",
+            capture=_capture_processlist,
+            forensic_reader="repro.forensics.diagnostics.extract_diagnostics_via_injection",
+        ),
+        ArtifactProvider(
+            name="query_cache_statements",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_query_cache,
+            requires_escalation=True,
+            spec_sinks=("query_cache",),
+            forensic_reader="repro.forensics.memory_scan.carve_statements_containing",
+        ),
+        ArtifactProvider(
+            name="adaptive_hash_hot_keys",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_adaptive_hash,
+            requires_escalation=True,
+            spec_sinks=("adaptive_hash",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+    )

@@ -1,19 +1,34 @@
-"""Snapshot-attack scenarios and capture (paper Figure 1).
+"""Snapshot-attack scenarios, artifact registry, and capture (Figure 1).
 
 :mod:`.scenario` defines the four concrete attacks and the state quadrants
-each one yields; :mod:`.capture` extracts exactly that state from a running
-:class:`repro.server.MySQLServer` into a :class:`.capture.Snapshot` that the
-forensics and attack modules consume.
+each one yields; :mod:`.registry` holds the central inventory of artifact
+providers every layer registers into; :mod:`.capture` walks that registry
+to extract exactly the state a scenario reveals from a target system (a
+MySQL server, a Mongo document store, a Spark cluster) into a
+:class:`.capture.Snapshot` that the forensics and attack modules consume.
 """
 
-from .scenario import AttackScenario, StateQuadrant, access_matrix, quadrants_for
+from .scenario import (
+    ARTIFACT_COLUMNS,
+    AttackScenario,
+    StateQuadrant,
+    access_matrix,
+    effective_quadrants,
+    quadrants_for,
+)
+from .registry import ArtifactProvider, ArtifactRegistry, default_registry
 from .capture import Snapshot, capture
 
 __all__ = [
+    "ARTIFACT_COLUMNS",
     "AttackScenario",
     "StateQuadrant",
     "access_matrix",
+    "effective_quadrants",
     "quadrants_for",
+    "ArtifactProvider",
+    "ArtifactRegistry",
+    "default_registry",
     "Snapshot",
     "capture",
 ]

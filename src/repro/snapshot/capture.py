@@ -1,26 +1,31 @@
 """Snapshot capture: extract exactly what each attack scenario yields.
 
-A :class:`Snapshot` is a frozen bag of artifacts; fields the scenario cannot
-see are ``None``. Downstream forensics must work only from what is present —
-accessing an absent artifact raises :class:`repro.errors.SnapshotError`
-through the checked accessors, which keeps experiments honest about their
-threat model.
+A :class:`Snapshot` is a frozen bag of artifacts keyed by registry name;
+artifacts the scenario cannot see are simply absent. Downstream forensics
+must work only from what is present — accessing an absent artifact raises
+:class:`repro.errors.SnapshotError` through :meth:`Snapshot.require` and
+the checked accessors, which keeps experiments honest about their threat
+model.
+
+:func:`capture` is a generic walk over the artifact registry
+(:mod:`repro.snapshot.registry`): it filters the registered providers by
+the scenario's state quadrants, the SQL-injection escalation gate, and
+each provider's ``enabled`` predicate, then stores whatever each capture
+callable returns. The same walk serves every backend — MySQL servers,
+Mongo document stores, Spark clusters — distinguished only by the
+``backend`` tag their providers registered under.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import SnapshotError
 from ..memory import MemoryDump
-from ..server import MySQLServer
-from ..server.adaptive_hash import HotKey
-from ..server.information_schema import ProcesslistRow
-from ..server.performance_schema import DigestSummary, StatementEvent
-from ..storage.buffer_pool import BufferPoolDump
+from ..server.performance_schema import DigestSummary
 from ..engine.binlog import BinlogEvent
-from ..engine.query_logs import QueryLogEntry
+from .registry import ArtifactRegistry, default_registry
 from .scenario import AttackScenario, StateQuadrant, quadrants_for
 
 
@@ -30,35 +35,34 @@ class Snapshot:
 
     scenario: AttackScenario
     captured_at: int
+    #: Captured artifact values, keyed by registered provider name.
+    artifacts: Mapping[str, object] = field(default_factory=dict)
 
-    # -- persistent DB state (disk) --------------------------------------
-    redo_log_raw: Optional[bytes] = None
-    undo_log_raw: Optional[bytes] = None
-    binlog_events: Optional[Tuple[BinlogEvent, ...]] = None
-    binlog_text: Optional[str] = None
-    general_log_entries: Optional[Tuple[QueryLogEntry, ...]] = None
-    slow_log_entries: Optional[Tuple[QueryLogEntry, ...]] = None
-    buffer_pool_dump: Optional[BufferPoolDump] = None
-    tablespace_images: Optional[Dict[str, bytes]] = None
+    # -- generic accessors -------------------------------------------------
 
-    # -- volatile DB state (memory / queryable) ---------------------------
-    memory_dump: Optional[MemoryDump] = None
-    query_cache_statements: Optional[Tuple[str, ...]] = None
-    statements_current: Optional[Tuple[StatementEvent, ...]] = None
-    statements_history: Optional[Tuple[StatementEvent, ...]] = None
-    digest_summaries: Optional[Tuple[DigestSummary, ...]] = None
-    processlist: Optional[Tuple[ProcesslistRow, ...]] = None
-    adaptive_hash_hot_keys: Optional[Tuple[HotKey, ...]] = None
-    live_buffer_pool: Optional[BufferPoolDump] = None
+    def get(self, name: str):
+        """The artifact value, or ``None`` when the scenario lacks it."""
+        return self.artifacts.get(name)
 
-    # -- observability layer (metrics are queryable; the trace ring is an
-    # -- internal structure like the heap). The trace is captured raw —
-    # -- parsing span records out of it is forensic work, done by
-    # -- :mod:`repro.forensics.obs_trace` on the attacker's time.
-    obs_metrics: Optional[Dict[str, float]] = None
-    obs_trace_raw: Optional[bytes] = None
+    def require(self, name: str):
+        """The artifact value; raises SnapshotError when absent."""
+        value = self.artifacts.get(name)
+        if value is None:
+            raise SnapshotError(
+                f"{self.scenario.value} snapshot does not include {name}"
+            )
+        return value
 
-    # -- checked accessors ----------------------------------------------------
+    def __getattr__(self, name: str):
+        # Registry-known artifact names read like the former dataclass
+        # fields: ``snap.redo_log_raw`` is ``snap.get("redo_log_raw")``.
+        if not name.startswith("_") and name in default_registry():
+            return self.artifacts.get(name)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    # -- checked accessors (thin shims over the generic store) -------------
 
     def _require(self, value, name: str):
         if value is None:
@@ -68,37 +72,41 @@ class Snapshot:
         return value
 
     def require_memory_dump(self) -> MemoryDump:
-        return self._require(self.memory_dump, "a process memory dump")
+        return self._require(self.get("memory_dump"), "a process memory dump")
 
     def require_redo_log(self) -> bytes:
-        return self._require(self.redo_log_raw, "the redo log")
+        return self._require(self.get("redo_log_raw"), "the redo log")
 
     def require_undo_log(self) -> bytes:
-        return self._require(self.undo_log_raw, "the undo log")
+        return self._require(self.get("undo_log_raw"), "the undo log")
 
     def require_binlog_events(self) -> Tuple[BinlogEvent, ...]:
-        return self._require(self.binlog_events, "the binlog")
+        return self._require(self.get("binlog_events"), "the binlog")
 
     def require_digest_summaries(self) -> Tuple[DigestSummary, ...]:
-        return self._require(self.digest_summaries, "digest summaries")
+        return self._require(self.get("digest_summaries"), "digest summaries")
 
     def require_obs_metrics(self) -> Dict[str, float]:
-        return self._require(self.obs_metrics, "observability metrics")
+        return self._require(self.get("obs_metrics"), "observability metrics")
 
     def require_obs_trace(self) -> bytes:
-        return self._require(self.obs_trace_raw, "the observability trace store")
+        return self._require(
+            self.get("obs_trace_raw"), "the observability trace store"
+        )
 
     def has_quadrant(self, quadrant: StateQuadrant) -> bool:
         return quadrant in quadrants_for(self.scenario)
 
 
 def capture(
-    server: MySQLServer,
+    target,
     scenario: AttackScenario,
     escalated: bool = False,
     full_state: bool = True,
+    backend: str = "mysql",
+    registry: Optional[ArtifactRegistry] = None,
 ) -> Snapshot:
-    """Capture the state ``scenario`` reveals from ``server``.
+    """Capture the state ``scenario`` reveals from ``target``.
 
     ``escalated`` applies only to SQL injection: it models the
     code-execution escalation the paper cites ("SQL injection can be
@@ -111,60 +119,23 @@ def capture(
     snapshots also include the VM's memory and CPU registers. We focus on
     the latter." ``full_state=False`` models the storage-only leak, which
     degrades a VM snapshot to the disk-theft artifact set.
+
+    ``backend`` selects which registered providers apply (``"mysql"``,
+    ``"mongo"``, ``"spark"``); ``registry`` defaults to the shipped
+    :func:`default_registry`.
     """
-    quadrants = quadrants_for(scenario)
-    if scenario is AttackScenario.VM_SNAPSHOT and not full_state:
-        quadrants = frozenset(
-            q
-            for q in quadrants
-            if q in (StateQuadrant.PERSISTENT_DB, StateQuadrant.PERSISTENT_OS)
-        )
-    now = server.clock.timestamp()
-
-    kwargs: dict = {"scenario": scenario, "captured_at": now}
-
-    if StateQuadrant.PERSISTENT_DB in quadrants:
-        kwargs.update(
-            redo_log_raw=server.engine.redo_log.raw_bytes(),
-            undo_log_raw=server.engine.undo_log.raw_bytes(),
-            binlog_events=tuple(server.engine.binlog.events),
-            binlog_text=server.engine.binlog.to_text(),
-            general_log_entries=tuple(server.general_log.entries),
-            slow_log_entries=tuple(server.slow_log.entries),
-            buffer_pool_dump=server.last_buffer_pool_dump,
-            tablespace_images={
-                name: server.engine.tablespace(name).to_bytes()
-                for name in server.engine.table_names
-            },
-        )
-
-    if StateQuadrant.VOLATILE_DB in quadrants:
-        diagnostic_kwargs = dict(
-            statements_current=tuple(server.perf_schema.events_statements_current()),
-            statements_history=tuple(server.perf_schema.events_statements_history()),
-            digest_summaries=tuple(
-                server.perf_schema.events_statements_summary_by_digest()
-            ),
-            processlist=tuple(server.info_schema.processlist(now)),
-        )
-        structure_kwargs = dict(
-            memory_dump=MemoryDump(server.heap.snapshot()),
-            query_cache_statements=tuple(server.query_cache.statements),
-            adaptive_hash_hot_keys=tuple(server.adaptive_hash.hot_keys()),
-            live_buffer_pool=server.engine.buffer_pool.dump(),
-        )
-        if server.obs.enabled:
-            # Metrics are a queryable diagnostic surface (think SHOW STATUS /
-            # a /metrics endpoint); the span ring buffer is an in-memory
-            # structure, withheld from un-escalated SQL injection like the
-            # heap it lives in.
-            diagnostic_kwargs["obs_metrics"] = server.obs.metrics_dump()
-            structure_kwargs["obs_trace_raw"] = server.obs.trace_raw()
-        kwargs.update(diagnostic_kwargs)
-        # The raw data structures (heap, query cache, AHI, live pool) are
-        # "strictly internal to MySQL" (Section 5): SQL injection only gets
-        # them after escalating to arbitrary code execution.
-        if scenario is not AttackScenario.SQL_INJECTION or escalated:
-            kwargs.update(structure_kwargs)
-
-    return Snapshot(**kwargs)
+    reg = registry if registry is not None else default_registry()
+    now = target.clock.timestamp()
+    artifacts: Dict[str, object] = {}
+    # The plan is the registry pre-filtered by quadrant and by the
+    # SQL-injection escalation gate (the raw data structures are "strictly
+    # internal to MySQL" (Section 5): injection only gets them after
+    # escalating to arbitrary code execution). Only the dynamic ``enabled``
+    # predicate remains to be checked against the live target.
+    for name, capture_fn, enabled in reg.capture_plan(
+        backend, scenario, escalated, full_state
+    ):
+        if enabled is not None and not enabled(target):
+            continue
+        artifacts[name] = capture_fn(target)
+    return Snapshot(scenario=scenario, captured_at=now, artifacts=artifacts)

@@ -1,0 +1,254 @@
+"""Central artifact registry: one inventory of everything a snapshot yields.
+
+The paper's core move (§2, Figure 1) is an *inventory*: enumerate every
+artifact a snapshot exposes, per state quadrant, per attack scenario. This
+module makes that inventory first-class. Each layer (engine, storage,
+server, memory, obs, replication, Mongo, Spark) registers
+:class:`ArtifactProvider` entries declaring
+
+* a unique artifact **name** (the key in :attr:`Snapshot.artifacts`),
+* the **backend** it belongs to (``"mysql"``, ``"mongo"``, ``"spark"``),
+* the :class:`~repro.snapshot.scenario.StateQuadrant` the artifact lives in,
+* its Figure-1 **artifact class** (``logs`` / ``diagnostic_tables`` /
+  ``data_structures``),
+* whether SQL injection needs the code-execution **escalation** to reach it,
+* a **capture** callable (target → artifact value), and
+* the **forensic reader** that consumes it on the attacker's time.
+
+:func:`repro.snapshot.capture.capture` is a generic walk over this registry;
+``e01_surface`` derives the Figure-1 table from it; ``repro-lint``
+cross-checks it against ``leakage_spec.json``. Adding a leakage surface is
+now one provider entry plus one spec entry — the gate fails CI if either
+half is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SnapshotError
+from .scenario import (
+    ARTIFACT_COLUMNS,
+    AttackScenario,
+    StateQuadrant,
+    effective_quadrants,
+    quadrants_for,
+)
+
+
+@dataclass(frozen=True)
+class ArtifactProvider:
+    """One registered leakage surface: how to capture it and what it is."""
+
+    #: Unique artifact name; the key under which :func:`capture` stores it.
+    name: str
+    #: Which simulated system exposes it ("mysql", "mongo", "spark").
+    backend: str
+    #: The state quadrant the artifact lives in (decides scenario gating).
+    quadrant: StateQuadrant
+    #: Figure-1 column: "logs", "diagnostic_tables", or "data_structures".
+    artifact_class: str
+    #: Extract the artifact value from a live target (server/store/cluster).
+    capture: Callable[[object], object]
+    #: True for structures "strictly internal" to the DB process: SQL
+    #: injection only reaches them after the code-execution escalation.
+    requires_escalation: bool = False
+    #: Optional predicate: provider is skipped when it returns False
+    #: (e.g. obs artifacts when instrumentation is disabled).
+    enabled: Optional[Callable[[object], bool]] = None
+    #: leakage_spec.json sink ids whose contents end up in this artifact.
+    spec_sinks: Tuple[str, ...] = ()
+    #: Dotted path of the forensic reader that consumes the artifact.
+    forensic_reader: str = ""
+
+
+class ArtifactRegistry:
+    """Ordered collection of :class:`ArtifactProvider` entries."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, ArtifactProvider] = {}
+        # capture() walks providers(backend) on every snapshot; memoise the
+        # filtered tuples so the walk costs no more than the old monolith.
+        self._by_backend: Dict[Optional[str], Tuple[ArtifactProvider, ...]] = {}
+        self._plans: Dict[
+            Tuple[str, AttackScenario, bool, bool],
+            Tuple[Tuple[str, Callable, Optional[Callable]], ...],
+        ] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, provider: ArtifactProvider) -> None:
+        if provider.name in self._providers:
+            raise SnapshotError(
+                f"duplicate artifact provider: {provider.name!r}"
+            )
+        if provider.artifact_class not in ARTIFACT_COLUMNS:
+            raise SnapshotError(
+                f"provider {provider.name!r} has unknown artifact class "
+                f"{provider.artifact_class!r}; expected one of "
+                f"{', '.join(ARTIFACT_COLUMNS)}"
+            )
+        if not isinstance(provider.quadrant, StateQuadrant):
+            raise SnapshotError(
+                f"provider {provider.name!r} quadrant must be a StateQuadrant"
+            )
+        self._providers[provider.name] = provider
+        self._by_backend.clear()
+        self._plans.clear()
+
+    def register_all(self, providers: Tuple[ArtifactProvider, ...]) -> None:
+        for provider in providers:
+            self.register(provider)
+
+    # -- lookup ------------------------------------------------------------
+
+    def providers(self, backend: Optional[str] = None) -> Tuple[ArtifactProvider, ...]:
+        cached = self._by_backend.get(backend)
+        if cached is None:
+            if backend is None:
+                cached = tuple(self._providers.values())
+            else:
+                cached = tuple(
+                    p for p in self._providers.values() if p.backend == backend
+                )
+            self._by_backend[backend] = cached
+        return cached
+
+    def capture_plan(
+        self,
+        backend: str,
+        scenario: AttackScenario,
+        escalated: bool,
+        full_state: bool,
+    ) -> Tuple[Tuple[str, Callable, Optional[Callable]], ...]:
+        """Pre-filtered ``(name, capture, enabled)`` triples for one walk.
+
+        Quadrant and escalation gating depend only on static provider
+        metadata, so the filtered walk order is memoised per
+        ``(backend, scenario, gates)``; only each provider's dynamic
+        ``enabled`` predicate is left for :func:`capture` to evaluate
+        against the live target.
+        """
+        withhold_internal = (
+            scenario is AttackScenario.SQL_INJECTION and not escalated
+        )
+        key = (backend, scenario, full_state, withhold_internal)
+        plan = self._plans.get(key)
+        if plan is None:
+            quadrants = effective_quadrants(scenario, full_state)
+            plan = tuple(
+                (p.name, p.capture, p.enabled)
+                for p in self.providers(backend)
+                if p.quadrant in quadrants
+                and not (withhold_internal and p.requires_escalation)
+            )
+            self._plans[key] = plan
+        return plan
+
+    def get(self, name: str) -> ArtifactProvider:
+        provider = self._providers.get(name)
+        if provider is None:
+            raise SnapshotError(f"unknown artifact: {name!r}")
+        return provider
+
+    def names(self, backend: Optional[str] = None) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.providers(backend))
+
+    def by_class(
+        self, artifact_class: str, backend: Optional[str] = None
+    ) -> Tuple[ArtifactProvider, ...]:
+        return tuple(
+            p
+            for p in self.providers(backend)
+            if p.artifact_class == artifact_class
+        )
+
+    def backends(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for provider in self._providers.values():
+            if provider.backend not in seen:
+                seen.append(provider.backend)
+        return tuple(seen)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __iter__(self) -> Iterator[ArtifactProvider]:
+        return iter(self._providers.values())
+
+    # -- derivations -------------------------------------------------------
+
+    def access_matrix(
+        self, backend: str = "mysql"
+    ) -> Dict[AttackScenario, Dict[str, bool]]:
+        """Figure 1's right-hand table, derived from the registered surface.
+
+        A cell (scenario, column) is checked iff some provider of that
+        artifact class lives in a quadrant the scenario reveals — and, for
+        SQL injection, does not require the code-execution escalation
+        (Section 5: the query cache "is strictly internal to MySQL and
+        cannot be exposed via information_schema"). ``enabled`` predicates
+        are ignored: the matrix describes the attack surface, not one
+        particular server configuration.
+        """
+        matrix: Dict[AttackScenario, Dict[str, bool]] = {}
+        for scenario in AttackScenario:
+            revealed = quadrants_for(scenario)
+            row: Dict[str, bool] = {}
+            for column in ARTIFACT_COLUMNS:
+                row[column] = any(
+                    p.quadrant in revealed
+                    and not (
+                        scenario is AttackScenario.SQL_INJECTION
+                        and p.requires_escalation
+                    )
+                    for p in self.by_class(column, backend)
+                )
+            matrix[scenario] = row
+        return matrix
+
+
+#: Lazily-built singleton holding every shipped provider.
+_default: Optional[ArtifactRegistry] = None
+
+
+def default_registry() -> ArtifactRegistry:
+    """The registry of all shipped leakage surfaces, built on first use.
+
+    Provider modules are imported lazily so :mod:`repro.snapshot` stays
+    import-cycle-free: the layers import the registry types, not the other
+    way round — until this function wires them together.
+    """
+    global _default
+    if _default is None:
+        from .. import replication
+        from ..engine import artifacts as engine_artifacts
+        from ..memory import artifacts as memory_artifacts
+        from ..mongo import artifacts as mongo_artifacts
+        from ..obs import artifacts as obs_artifacts
+        from ..server import artifacts as server_artifacts
+        from ..spark import artifacts as spark_artifacts
+        from ..storage import artifacts as storage_artifacts
+
+        registry = ArtifactRegistry()
+        registry.register_all(engine_artifacts.providers())
+        registry.register_all(storage_artifacts.providers())
+        registry.register_all(server_artifacts.providers())
+        registry.register_all(memory_artifacts.providers())
+        registry.register_all(obs_artifacts.providers())
+        registry.register_all(replication.providers())
+        registry.register_all(mongo_artifacts.providers())
+        registry.register_all(spark_artifacts.providers())
+        _default = registry
+    return _default
+
+
+__all__ = [
+    "ArtifactProvider",
+    "ArtifactRegistry",
+    "default_registry",
+]

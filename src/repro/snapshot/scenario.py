@@ -66,19 +66,30 @@ _ACCESS: Dict[AttackScenario, FrozenSet[StateQuadrant]] = {
 #: The artifact columns of Figure 1's right-hand table.
 ARTIFACT_COLUMNS: Tuple[str, ...] = ("logs", "diagnostic_tables", "data_structures")
 
-_ARTIFACT_NEEDS: Dict[str, StateQuadrant] = {
-    # On-disk logs (redo/undo, binlog, query logs, buffer-pool dump file).
-    "logs": StateQuadrant.PERSISTENT_DB,
-    # Queryable diagnostic tables (information_schema / performance_schema).
-    "diagnostic_tables": StateQuadrant.VOLATILE_DB,
-    # In-memory data structures (heap, query cache, AHI, buffer pool).
-    "data_structures": StateQuadrant.VOLATILE_DB,
-}
-
 
 def quadrants_for(scenario: AttackScenario) -> FrozenSet[StateQuadrant]:
     """State quadrants revealed by ``scenario``."""
     return _ACCESS[scenario]
+
+
+def effective_quadrants(
+    scenario: AttackScenario, full_state: bool = True
+) -> FrozenSet[StateQuadrant]:
+    """Quadrants a concrete capture yields, honoring ``full_state``.
+
+    Paper §2: "Some VM snapshots only contain the persistent storage,
+    whereas full-state snapshots also include the VM's memory and CPU
+    registers." A storage-only VM snapshot degrades to the persistent
+    quadrants — the disk-theft artifact set.
+    """
+    quadrants = _ACCESS[scenario]
+    if scenario is AttackScenario.VM_SNAPSHOT and not full_state:
+        quadrants = frozenset(
+            q
+            for q in quadrants
+            if q in (StateQuadrant.PERSISTENT_DB, StateQuadrant.PERSISTENT_OS)
+        )
+    return quadrants
 
 
 def reveals(scenario: AttackScenario, quadrant: StateQuadrant) -> bool:
@@ -89,22 +100,15 @@ def reveals(scenario: AttackScenario, quadrant: StateQuadrant) -> bool:
 def access_matrix() -> Dict[AttackScenario, Dict[str, bool]]:
     """Figure 1's right-hand table: scenario x artifact column.
 
-    SQL injection yields the persistent and volatile DB state (the paper
-    notes injection "enables arbitrary code injection", so on-disk DB files
-    are reachable), but NOT the raw in-memory data structures column:
-    Section 5 points out the query cache "is strictly internal to MySQL and
-    cannot be exposed via information_schema". Dumping the process memory
-    requires the code-execution escalation — modeled by
-    :func:`repro.snapshot.capture.capture` with ``escalated=True``.
+    Derived from the artifact registry (the single inventory of leakage
+    surfaces): a cell is checked iff some registered MySQL provider of
+    that artifact class lives in a revealed quadrant. SQL injection yields
+    the persistent and volatile DB state, but NOT the raw in-memory data
+    structures column: Section 5 points out the query cache "is strictly
+    internal to MySQL and cannot be exposed via information_schema", so
+    those providers declare ``requires_escalation`` — modeled at capture
+    time by ``escalated=True``.
     """
-    matrix: Dict[AttackScenario, Dict[str, bool]] = {}
-    for scenario in AttackScenario:
-        revealed = _ACCESS[scenario]
-        row = {
-            column: _ARTIFACT_NEEDS[column] in revealed
-            for column in ARTIFACT_COLUMNS
-        }
-        if scenario is AttackScenario.SQL_INJECTION:
-            row["data_structures"] = False  # requires the code-exec escalation
-        matrix[scenario] = row
-    return matrix
+    from .registry import default_registry
+
+    return default_registry().access_matrix(backend="mysql")

@@ -16,13 +16,14 @@ server [57] or from the heap of the worker nodes."
 
 from .events import EventLog, SparkEvent
 from .engine import MiniSparkCluster, SparkJobResult
-from .forensics import history_server_queries, scan_executor_heaps
+from .forensics import capture_spark, history_server_queries, scan_executor_heaps
 
 __all__ = [
     "EventLog",
     "SparkEvent",
     "MiniSparkCluster",
     "SparkJobResult",
+    "capture_spark",
     "history_server_queries",
     "scan_executor_heaps",
 ]

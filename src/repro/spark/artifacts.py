@@ -1,0 +1,52 @@
+"""Spark snapshot artifacts: event log and executor heaps (paper §6).
+
+The persisted event log is disk state — theft of the history-server volume
+suffices. The executor heaps are worker-node memory: reaching them takes
+process-level compromise, modeled with the same escalation gate as the
+MySQL heap. Registered under backend ``"spark"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..memory import MemoryDump
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+from .engine import MiniSparkCluster
+
+
+def _capture_event_log(cluster: MiniSparkCluster) -> str:
+    return cluster.event_log.to_jsonl()
+
+
+def _capture_executor_heaps(cluster: MiniSparkCluster) -> Dict[int, MemoryDump]:
+    return {
+        executor.executor_id: MemoryDump(executor.heap.snapshot())
+        for executor in cluster.executors
+    }
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The Spark cluster's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="spark_event_log",
+            backend="spark",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_event_log,
+            spec_sinks=("spark_event_log",),
+            forensic_reader="repro.spark.forensics.history_server_queries",
+        ),
+        ArtifactProvider(
+            name="spark_executor_heaps",
+            backend="spark",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_executor_heaps,
+            requires_escalation=True,
+            spec_sinks=("heap",),
+            forensic_reader="repro.spark.forensics.scan_executor_heaps",
+        ),
+    )

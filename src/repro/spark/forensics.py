@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..memory import MemoryDump
+from ..snapshot import AttackScenario, Snapshot, capture
 from .engine import MiniSparkCluster
 from .events import EventLog
 
@@ -32,15 +32,37 @@ def query_histogram(event_log_jsonl: str) -> Dict[str, int]:
     return histogram
 
 
+def capture_spark(
+    cluster: MiniSparkCluster,
+    scenario: AttackScenario,
+    escalated: bool = False,
+    full_state: bool = True,
+) -> Snapshot:
+    """Capture the state ``scenario`` reveals from a Spark cluster.
+
+    Same registry walk and quadrant gating as the MySQL path — the Spark
+    providers are just registered under backend ``"spark"``.
+    """
+    return capture(
+        cluster,
+        scenario,
+        escalated=escalated,
+        full_state=full_state,
+        backend="spark",
+    )
+
+
 def scan_executor_heaps(cluster: MiniSparkCluster, needle: str) -> Dict[int, int]:
     """Occurrences of ``needle`` in each executor's heap dump.
 
     The "heap of the worker nodes" channel: task expressions are freed
     without zeroing, so past queries' filter expressions persist on every
-    worker that ever ran one of their tasks.
+    worker that ever ran one of their tasks. Works from a full-compromise
+    snapshot's ``spark_executor_heaps`` artifact.
     """
-    hits = {}
-    for executor in cluster.executors:
-        dump = MemoryDump(executor.heap.snapshot())
-        hits[executor.executor_id] = dump.count_locations(needle)
-    return hits
+    snap = capture_spark(cluster, AttackScenario.FULL_COMPROMISE)
+    heaps: Dict[int, object] = snap.require("spark_executor_heaps")
+    return {
+        executor_id: dump.count_locations(needle)
+        for executor_id, dump in heaps.items()
+    }

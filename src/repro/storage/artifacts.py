@@ -1,0 +1,63 @@
+"""Storage-layer snapshot artifacts: tablespaces and the buffer pool.
+
+The on-disk tablespace images and the periodic buffer-pool dump file are
+persistent DB state (classed under Figure 1's "logs" column, which covers
+the on-disk file surface broadly); the *live* buffer pool is an in-memory
+structure — SQL injection needs the code-execution escalation to reach it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..server import MySQLServer
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+from .buffer_pool import BufferPoolDump
+
+
+def _capture_buffer_pool_dump(server: MySQLServer) -> BufferPoolDump:
+    return server.last_buffer_pool_dump
+
+
+def _capture_tablespace_images(server: MySQLServer) -> Dict[str, bytes]:
+    return {
+        name: server.engine.tablespace(name).to_bytes()
+        for name in server.engine.table_names
+    }
+
+
+def _capture_live_buffer_pool(server: MySQLServer) -> BufferPoolDump:
+    return server.engine.buffer_pool.dump()
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The storage layer's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="buffer_pool_dump",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_buffer_pool_dump,
+            forensic_reader="repro.forensics.buffer_pool_dump.infer_access_paths",
+        ),
+        ArtifactProvider(
+            name="tablespace_images",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_tablespace_images,
+            spec_sinks=("tablespace",),
+            forensic_reader="repro.attacks",
+        ),
+        ArtifactProvider(
+            name="live_buffer_pool",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_live_buffer_pool,
+            requires_escalation=True,
+            forensic_reader="repro.forensics.buffer_pool_dump.infer_access_paths",
+        ),
+    )

@@ -1,0 +1,121 @@
+"""``repro-surface``: print the registry-derived Figure-1 table.
+
+The scenario × artifact-class grid is computed from the artifact registry
+(the same single inventory that drives ``capture()``, E1, and the
+``repro-lint`` surface gate), so what this tool prints is, by construction,
+what the code actually captures.
+
+Exit codes: 0 — ok; 2 — usage/input error (unknown backend), reported on
+stderr like the other repro-* tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..snapshot.registry import default_registry
+from ..snapshot.scenario import ARTIFACT_COLUMNS, AttackScenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-surface",
+        description=(
+            "Print the scenario x artifact-class matrix (paper Figure 1) "
+            "derived from the snapshot artifact registry."
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        default="mysql",
+        help="which registered backend to tabulate (default: mysql)",
+    )
+    parser.add_argument(
+        "--providers",
+        action="store_true",
+        help="also list every registered provider for the backend",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the matrix and provider list as JSON",
+    )
+    return parser
+
+
+def _render_matrix(registry, backend: str) -> str:
+    matrix = registry.access_matrix(backend=backend)
+    header = f"{'attack':24s}" + "".join(f"{col:20s}" for col in ARTIFACT_COLUMNS)
+    lines = [header]
+    for scenario in AttackScenario:
+        row = matrix[scenario]
+        cells = "".join(
+            f"{'X' if row[col] else '':20s}" for col in ARTIFACT_COLUMNS
+        )
+        lines.append(f"{scenario.value:24s}{cells}")
+    return "\n".join(lines)
+
+
+def _render_providers(registry, backend: str) -> str:
+    lines = [f"-- {len(registry.providers(backend))} registered providers --"]
+    for provider in registry.providers(backend):
+        gates = []
+        if provider.requires_escalation:
+            gates.append("escalation")
+        if provider.enabled is not None:
+            gates.append("conditional")
+        suffix = f"  [{', '.join(gates)}]" if gates else ""
+        lines.append(
+            f"{provider.name:24s} {provider.quadrant.value:14s} "
+            f"{provider.artifact_class:20s}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = default_registry()
+    if args.backend not in registry.backends():
+        known = ", ".join(registry.backends())
+        print(
+            f"repro-surface: unknown backend {args.backend!r} "
+            f"(registered: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json:
+        matrix = registry.access_matrix(backend=args.backend)
+        payload = {
+            "backend": args.backend,
+            "columns": list(ARTIFACT_COLUMNS),
+            "matrix": {
+                scenario.value: row for scenario, row in matrix.items()
+            },
+            "providers": [
+                {
+                    "name": p.name,
+                    "quadrant": p.quadrant.value,
+                    "class": p.artifact_class,
+                    "requires_escalation": p.requires_escalation,
+                    "conditional": p.enabled is not None,
+                    "sinks": list(p.spec_sinks),
+                    "forensic_reader": p.forensic_reader,
+                }
+                for p in registry.providers(args.backend)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(_render_matrix(registry, args.backend))
+    if args.providers:
+        print()
+        print(_render_providers(registry, args.backend))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

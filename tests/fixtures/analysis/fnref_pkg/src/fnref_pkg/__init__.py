@@ -1,0 +1,1 @@
+"""Fixture: a taint flow routed through a first-class function reference."""

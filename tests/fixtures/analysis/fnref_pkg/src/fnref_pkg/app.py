@@ -1,0 +1,40 @@
+"""A registry-style collector: the sink is reached only through a
+function reference stored in a dataclass field, the shape the snapshot
+artifact registry uses."""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+class Source:
+    pass
+
+
+def read_secret(source: Source) -> str:
+    return "secret"
+
+
+@dataclass(frozen=True)
+class Provider:
+    name: str
+    grab: Callable[[Source], str]
+
+
+def _grab_secret(source: Source) -> str:
+    return read_secret(source)
+
+
+def providers() -> Tuple[Provider, ...]:
+    return (Provider(name="secret", grab=_grab_secret),)
+
+
+class Capture:
+    def __init__(self, artifacts: Dict[str, str]) -> None:
+        self.artifacts = artifacts
+
+
+def collect(source: Source) -> Capture:
+    out: Dict[str, str] = {}
+    for provider in providers():
+        out[provider.name] = provider.grab(source)
+    return Capture(out)

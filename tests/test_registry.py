@@ -1,0 +1,182 @@
+"""Tests for the central artifact registry and the multi-backend capture."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.mongo import DocumentStore, capture_mongo
+from repro.replication import ReplicatedDeployment
+from repro.snapshot import (
+    AttackScenario,
+    ArtifactProvider,
+    ArtifactRegistry,
+    StateQuadrant,
+    capture,
+    default_registry,
+)
+from repro.spark import MiniSparkCluster, capture_spark
+
+
+def _provider(name="a1", **overrides):
+    fields = dict(
+        name=name,
+        backend="mysql",
+        quadrant=StateQuadrant.PERSISTENT_DB,
+        artifact_class="logs",
+        capture=lambda target: b"x",
+    )
+    fields.update(overrides)
+    return ArtifactProvider(**fields)
+
+
+class TestArtifactRegistry:
+    def test_register_and_lookup(self):
+        registry = ArtifactRegistry()
+        registry.register(_provider("redo"))
+        registry.register(_provider("heap", quadrant=StateQuadrant.VOLATILE_DB,
+                                    artifact_class="data_structures"))
+        assert len(registry) == 2
+        assert "redo" in registry
+        assert registry.get("redo").artifact_class == "logs"
+        assert registry.names() == ("redo", "heap")
+        assert [p.name for p in registry.by_class("data_structures")] == ["heap"]
+
+    def test_duplicate_name_rejected(self):
+        registry = ArtifactRegistry()
+        registry.register(_provider("dup"))
+        with pytest.raises(SnapshotError, match="duplicate"):
+            registry.register(_provider("dup"))
+
+    def test_unknown_artifact_class_rejected(self):
+        registry = ArtifactRegistry()
+        with pytest.raises(SnapshotError, match="artifact class"):
+            registry.register(_provider(artifact_class="blobs"))
+
+    def test_unknown_name_lookup_raises(self):
+        with pytest.raises(SnapshotError, match="unknown artifact"):
+            ArtifactRegistry().get("nope")
+
+    def test_backend_filtering(self):
+        registry = ArtifactRegistry()
+        registry.register(_provider("m1"))
+        registry.register(_provider("g1", backend="mongo"))
+        assert registry.backends() == ("mysql", "mongo")
+        assert registry.names(backend="mongo") == ("g1",)
+
+    def test_access_matrix_derivation(self):
+        registry = ArtifactRegistry()
+        registry.register(_provider("log"))
+        registry.register(
+            _provider(
+                "diag",
+                quadrant=StateQuadrant.VOLATILE_DB,
+                artifact_class="diagnostic_tables",
+            )
+        )
+        registry.register(
+            _provider(
+                "struct",
+                quadrant=StateQuadrant.VOLATILE_DB,
+                artifact_class="data_structures",
+                requires_escalation=True,
+            )
+        )
+        matrix = registry.access_matrix()
+        assert matrix[AttackScenario.DISK_THEFT] == {
+            "logs": True, "diagnostic_tables": False, "data_structures": False,
+        }
+        # Escalation-gated structures don't count for SQL injection...
+        assert not matrix[AttackScenario.SQL_INJECTION]["data_structures"]
+        # ...but do for scenarios that take the memory wholesale.
+        assert matrix[AttackScenario.FULL_COMPROMISE]["data_structures"]
+
+
+class TestDefaultRegistry:
+    def test_is_cached_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_covers_all_backends(self):
+        registry = default_registry()
+        assert set(registry.backends()) == {"mysql", "mongo", "spark"}
+
+    def test_every_provider_declares_a_reader_or_sinks(self):
+        # The registry is the Figure-1 inventory: every entry must say how
+        # the attacker consumes it (reader) or where its contents came
+        # from (spec sinks) — most declare both.
+        for provider in default_registry():
+            assert provider.forensic_reader or provider.spec_sinks
+
+
+class TestMongoCapture:
+    @pytest.fixture
+    def store(self):
+        store = DocumentStore(profile_threshold_ms=0.0)
+        store.insert_one("events", {"n": 1, "who": "alice"})
+        store.insert_one("events", {"n": 2, "who": "bob"})
+        store.find("events", {"who": "alice"})
+        return store
+
+    def test_disk_theft_yields_persistent_artifacts(self, store):
+        snap = capture_mongo(store, AttackScenario.DISK_THEFT)
+        assert snap.scenario is AttackScenario.DISK_THEFT
+        assert len(snap.require("mongo_oplog_entries")) == 2
+        assert "events" in snap.require("mongo_collection_ids")
+        assert "events" in snap.require("mongo_documents")
+        assert snap.require("mongo_profile_entries")
+        # Live diagnostics are volatile: disk theft misses them.
+        assert "mongo_server_status" not in snap.artifacts
+        with pytest.raises(SnapshotError):
+            snap.require("mongo_server_status")
+
+    def test_injection_yields_diagnostics(self, store):
+        snap = capture_mongo(store, AttackScenario.SQL_INJECTION)
+        status = snap.require("mongo_server_status")
+        assert status["collections"]["events"] == 2
+
+    def test_no_mysql_artifacts_cross_over(self, store):
+        snap = capture_mongo(store, AttackScenario.FULL_COMPROMISE)
+        assert "redo_log_raw" not in snap.artifacts
+
+
+class TestSparkCapture:
+    @pytest.fixture
+    def cluster(self):
+        cluster = MiniSparkCluster(num_executors=2)
+        rows = [{"id": i, "v": i % 3} for i in range(12)]
+        cluster.create_table("t", rows)
+        cluster.run_aggregation(
+            "t", "count", filter_col="v", filter_value=1,
+            description="SELECT count(*) FROM t WHERE v = 1",
+        )
+        return cluster
+
+    def test_disk_theft_yields_event_log_only(self, cluster):
+        snap = capture_spark(cluster, AttackScenario.DISK_THEFT)
+        assert "SELECT count(*)" in snap.require("spark_event_log")
+        assert "spark_executor_heaps" not in snap.artifacts
+
+    def test_full_compromise_yields_worker_heaps(self, cluster):
+        snap = capture_spark(cluster, AttackScenario.FULL_COMPROMISE)
+        heaps = snap.require("spark_executor_heaps")
+        assert set(heaps) == {0, 1}
+        residue = sum(
+            dump.count_locations("WHERE v = 1") for dump in heaps.values()
+        )
+        assert residue >= 1
+
+
+class TestRelayLogArtifact:
+    def test_replica_snapshot_includes_relay_log(self):
+        deployment = ReplicatedDeployment(num_replicas=2)
+        session = deployment.connect("app")
+        deployment.execute(session, "CREATE TABLE r (id INT, v TEXT)")
+        deployment.execute(session, "INSERT INTO r (id, v) VALUES (1, 'x')")
+        replica = deployment.replicas[0]
+        snap = capture(replica, AttackScenario.DISK_THEFT)
+        relay = snap.require("relay_log_events")
+        assert len(relay) == deployment.primary.engine.binlog.num_events
+        assert any("INSERT INTO r" in e.statement for e in relay)
+
+    def test_primary_has_no_relay_log(self):
+        deployment = ReplicatedDeployment(num_replicas=1)
+        snap = capture(deployment.primary, AttackScenario.DISK_THEFT)
+        assert "relay_log_events" not in snap.artifacts

@@ -1,10 +1,19 @@
 """Tests for snapshot scenarios and capture (Figure 1)."""
 
+import itertools
+
 import pytest
 
 from repro.errors import SnapshotError
 from repro.server import MySQLServer
-from repro.snapshot import AttackScenario, StateQuadrant, capture, quadrants_for
+from repro.snapshot import (
+    AttackScenario,
+    StateQuadrant,
+    capture,
+    default_registry,
+    effective_quadrants,
+    quadrants_for,
+)
 from repro.snapshot.scenario import access_matrix, reveals
 
 
@@ -41,6 +50,17 @@ class TestScenarioMatrix:
         assert reveals(AttackScenario.DISK_THEFT, StateQuadrant.PERSISTENT_DB)
         assert not reveals(AttackScenario.DISK_THEFT, StateQuadrant.VOLATILE_OS)
 
+    def test_effective_quadrants_degrades_storage_only_vm(self):
+        quads = effective_quadrants(AttackScenario.VM_SNAPSHOT, full_state=False)
+        assert quads == {
+            StateQuadrant.PERSISTENT_DB,
+            StateQuadrant.PERSISTENT_OS,
+        }
+        # full_state applies only to VM snapshots.
+        assert effective_quadrants(
+            AttackScenario.FULL_COMPROMISE, full_state=False
+        ) == set(StateQuadrant)
+
     def test_figure1_artifact_matrix(self):
         matrix = access_matrix()
         # Disk theft: logs only.
@@ -66,27 +86,70 @@ class TestScenarioMatrix:
         assert counts[AttackScenario.FULL_COMPROMISE] == 3
 
 
-class TestCapture:
-    def test_disk_theft_has_disk_no_memory(self, loaded_server):
-        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
-        assert snap.redo_log_raw is not None
-        assert snap.binlog_events is not None
-        assert snap.buffer_pool_dump is not None
-        assert snap.tablespace_images and "t" in snap.tablespace_images
-        assert snap.memory_dump is None
-        assert snap.digest_summaries is None
-        with pytest.raises(SnapshotError):
-            snap.require_memory_dump()
+class TestCaptureProperty:
+    """The registry walk obeys the scenario gating for EVERY provider.
 
-    def test_sql_injection_no_raw_data_structures(self, loaded_server):
-        snap = capture(loaded_server, AttackScenario.SQL_INJECTION)
-        assert snap.digest_summaries is not None
-        assert snap.processlist is not None
-        # Persistent DB state is reachable (code injection reads DB files)...
-        assert snap.redo_log_raw is not None
-        # ...but the strictly-internal structures need the escalation.
-        assert snap.memory_dump is None
-        assert snap.query_cache_statements is None
+    This replaces hand-enumerated per-scenario assertions: any provider
+    added to the registry later is automatically covered.
+    """
+
+    @pytest.mark.parametrize(
+        "scenario,escalated,full_state",
+        list(
+            itertools.product(
+                list(AttackScenario), (False, True), (True, False)
+            )
+        ),
+        ids=lambda v: str(getattr(v, "value", v)),
+    )
+    def test_capture_never_exceeds_scenario(
+        self, loaded_server, scenario, escalated, full_state
+    ):
+        registry = default_registry()
+        snap = capture(
+            loaded_server, scenario, escalated=escalated, full_state=full_state
+        )
+        # Nothing outside the registry's mysql surface is ever captured.
+        mysql_names = set(registry.names(backend="mysql"))
+        assert set(snap.artifacts) <= mysql_names
+
+        quadrants = effective_quadrants(scenario, full_state)
+        for provider in registry.providers(backend="mysql"):
+            name = provider.name
+            if provider.quadrant not in quadrants:
+                assert name not in snap.artifacts, (
+                    f"{name} leaked outside {scenario.value}'s quadrants"
+                )
+            elif (
+                provider.requires_escalation
+                and scenario is AttackScenario.SQL_INJECTION
+                and not escalated
+            ):
+                assert name not in snap.artifacts, (
+                    f"{name} reached un-escalated SQL injection"
+                )
+            elif provider.enabled is not None and not provider.enabled(
+                loaded_server
+            ):
+                assert name not in snap.artifacts
+            else:
+                assert name in snap.artifacts, (
+                    f"{name} missing from {scenario.value} "
+                    f"(escalated={escalated}, full_state={full_state})"
+                )
+
+    def test_capture_only_walks_requested_backend(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.FULL_COMPROMISE)
+        assert not any(name.startswith("mongo_") for name in snap.artifacts)
+        assert not any(name.startswith("spark_") for name in snap.artifacts)
+
+
+class TestCaptureBehavior:
+    def test_disk_theft_artifacts_have_content(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
+        assert snap.redo_log_raw
+        assert snap.binlog_events
+        assert snap.tablespace_images and "t" in snap.tablespace_images
         with pytest.raises(SnapshotError):
             snap.require_memory_dump()
 
@@ -97,13 +160,6 @@ class TestCapture:
         # Code execution in the DB process also reads the DB's files: the
         # paper says injection yields "the persistent and volatile DB state".
         assert snap.redo_log_raw is not None
-
-    def test_vm_snapshot_has_everything(self, loaded_server):
-        snap = capture(loaded_server, AttackScenario.VM_SNAPSHOT)
-        assert snap.redo_log_raw is not None
-        assert snap.memory_dump is not None
-        assert snap.digest_summaries is not None
-        assert snap.live_buffer_pool is not None
 
     def test_memory_dump_contains_query_text(self, loaded_server):
         snap = capture(loaded_server, AttackScenario.FULL_COMPROMISE)
@@ -122,25 +178,17 @@ class TestCapture:
         snap = capture(loaded_server, AttackScenario.DISK_THEFT)
         assert snap.captured_at == now
 
+    def test_generic_accessors(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
+        assert snap.get("redo_log_raw") == snap.require("redo_log_raw")
+        assert snap.get("memory_dump") is None
+        with pytest.raises(SnapshotError):
+            snap.require("memory_dump")
 
-class TestVmSnapshotVariants:
-    """Paper §2: storage-only vs full-state VM snapshots."""
-
-    def test_storage_only_snapshot_is_disk_like(self, loaded_server):
-        snap = capture(
-            loaded_server, AttackScenario.VM_SNAPSHOT, full_state=False
-        )
-        assert snap.redo_log_raw is not None
-        assert snap.binlog_events is not None
-        assert snap.memory_dump is None
+    def test_registry_names_read_as_attributes(self, loaded_server):
+        snap = capture(loaded_server, AttackScenario.DISK_THEFT)
+        # A registry-known artifact absent from this scenario reads None...
         assert snap.digest_summaries is None
-
-    def test_full_state_is_default(self, loaded_server):
-        snap = capture(loaded_server, AttackScenario.VM_SNAPSHOT)
-        assert snap.memory_dump is not None
-
-    def test_full_state_flag_ignored_elsewhere(self, loaded_server):
-        snap = capture(
-            loaded_server, AttackScenario.FULL_COMPROMISE, full_state=False
-        )
-        assert snap.memory_dump is not None
+        # ...but a name the registry has never heard of is an error.
+        with pytest.raises(AttributeError):
+            snap.no_such_artifact

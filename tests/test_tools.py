@@ -1,8 +1,10 @@
 """Tests for the forensic CLI tools."""
 
+import json
+
 import pytest
 
-from repro.tools import binlog_dump, bufferpool, demo, logparse, memscan
+from repro.tools import binlog_dump, bufferpool, demo, logparse, memscan, surface
 
 
 @pytest.fixture(scope="module")
@@ -107,6 +109,42 @@ class TestMemscanTool:
         rc = memscan.main([str(artifact_dir / "memory.dump"), "--tokens"])
         assert rc == 0
         assert "candidate tokens" in capsys.readouterr().out
+
+
+class TestSurfaceTool:
+    def test_prints_figure1_matrix(self, capsys):
+        rc = surface.main([])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attack" in out
+        for scenario in ("disk_theft", "sql_injection", "vm_snapshot", "full_compromise"):
+            assert scenario in out
+        # Figure 1 check counts: 1 / 2 / 3 / 3.
+        rows = [line for line in out.splitlines() if not line.startswith("attack")]
+        counts = [line.count("X") for line in rows]
+        assert counts == [1, 2, 3, 3]
+
+    def test_provider_listing(self, capsys):
+        rc = surface.main(["--providers"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered providers" in out
+        assert "redo_log_raw" in out
+        assert "memory_dump" in out
+
+    def test_json_mode(self, capsys):
+        rc = surface.main(["--backend", "spark", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "spark"
+        assert payload["matrix"]["disk_theft"]["logs"] is True
+        names = {p["name"] for p in payload["providers"]}
+        assert names == {"spark_event_log", "spark_executor_heaps"}
+
+    def test_unknown_backend_is_input_error(self, capsys):
+        rc = surface.main(["--backend", "oracle"])
+        assert rc == 2
+        assert "repro-surface:" in capsys.readouterr().err
 
 
 class TestErrorExitCodes:
