@@ -1,0 +1,95 @@
+"""repro-lint incremental-cache benchmark: cold vs warm vs one-module edit.
+
+Copies the real ``src/repro`` tree and spec into a temp directory (so the
+repo's own cache is untouched), then measures three runs:
+
+1. cold      — empty cache, full parse + fixpoint,
+2. warm      — unchanged tree, full-tree cache hit (must be >= 5x faster
+               and byte-identical to the cold findings),
+3. one edit  — a single leaf module gains a function; the incremental run
+               must re-analyze < 25% of functions and still match a
+               from-scratch run on the edited tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+EDIT_MODULE = Path("repro") / "experiments" / "e13_ope.py"
+EDIT_SNIPPET = '\n\ndef _bench_edit_probe() -> int:\n    return 1\n'
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_incremental_lint_speedup(tmp_path, report):
+    src = tmp_path / "src" / "repro"
+    shutil.copytree(
+        REPO_ROOT / "src" / "repro", src,
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    spec = tmp_path / "leakage_spec.json"
+    shutil.copy(REPO_ROOT / "leakage_spec.json", spec)
+    cache = tmp_path / ".repro-lint-cache"
+
+    def run(**kwargs):
+        return run_analysis(src, "repro", spec, **kwargs)
+
+    cold, cold_s = _timed("cold", lambda: run(cache_dir=cache))
+    assert cold.cache_stats["mode"] == "cold"
+
+    warm, warm_s = _timed("warm", lambda: run(cache_dir=cache))
+    assert warm.cache_stats["mode"] == "warm-full"
+    assert warm.to_json() == cold.to_json(), (
+        "warm findings must be byte-identical to cold"
+    )
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= 5.0, (
+        f"warm run only {speedup:.1f}x faster than cold (need >= 5x)"
+    )
+
+    # Single-module edit: only the edited module's cone re-runs.
+    (src.parent / EDIT_MODULE).write_text(
+        (src.parent / EDIT_MODULE).read_text() + EDIT_SNIPPET
+    )
+    incr, incr_s = _timed("incremental", lambda: run(cache_dir=cache))
+    stats = incr.cache_stats
+    assert stats["mode"] == "warm-incremental"
+    fraction = stats["functions_reanalyzed"] / stats["functions_total"]
+    assert fraction < 0.25, (
+        f"edit re-analyzed {fraction:.1%} of functions (need < 25%)"
+    )
+    fresh = run()  # from scratch on the edited tree
+    assert incr.to_json() == fresh.to_json(), (
+        "incremental findings must match a from-scratch run"
+    )
+
+    lines = [
+        "repro-lint incremental cache (real src/repro tree)",
+        "",
+        f"modules: {stats['modules_total']}  "
+        f"functions: {stats['functions_total']}",
+        "",
+        f"{'run':<14} {'mode':<18} {'seconds':>9} {'reanalyzed':>12}",
+        f"{'cold':<14} {'cold':<18} {cold_s:>9.3f} "
+        f"{cold.cache_stats['functions_reanalyzed']:>12}",
+        f"{'warm':<14} {'warm-full':<18} {warm_s:>9.3f} {0:>12}",
+        f"{'one edit':<14} {'warm-incremental':<18} {incr_s:>9.3f} "
+        f"{stats['functions_reanalyzed']:>12}",
+        "",
+        f"warm speedup: {speedup:.1f}x (gate: >= 5x)",
+        f"edit cone: {stats['functions_reanalyzed']}/"
+        f"{stats['functions_total']} functions "
+        f"({fraction:.1%}, gate: < 25%)",
+        f"cold == warm findings: {warm.to_json() == cold.to_json()}",
+    ]
+    report("repro_lint_incremental", lines)

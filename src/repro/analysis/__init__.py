@@ -2,13 +2,24 @@
 
 An AST-based, no-dependency information-flow analyzer for this codebase.
 It reads a leakage spec (sources, sinks, documented paper flows), propagates
-taint kinds through a whole-package call graph, and fails on:
+taint kinds through a whole-package call graph, and runs a registry of lint
+passes over the result:
 
 - any source→sink flow not documented in the spec (``undocumented-flow``),
 - key material reaching a persistence sink, allowlisted or not
   (``key-hygiene``),
 - memory release points on taint-carrying paths that never consult
-  ``secure_delete`` (``secure-deletion``, the paper's E6 pattern).
+  ``secure_delete`` (``secure-deletion``, the paper's E6 pattern),
+- crypto misuse — nonce reuse, key material on display surfaces,
+  deterministic encryption outside declared DET paths (``crypto-*``,
+  enabled by a spec ``crypto_policy`` section),
+- unguarded shared-state writes on server/executor paths
+  (``shared-state-unguarded``, enabled by a spec ``concurrency`` section).
+
+Runs are incremental when a cache directory is supplied (see
+:mod:`.driver` and :mod:`.cache`), and findings carry stable fingerprints
+for baseline diffing and SARIF output (see :mod:`.fingerprint` and
+:mod:`.sarif`).
 
 Entry points: :func:`run_analysis` (library) and ``repro-lint`` /
 ``python -m repro.analysis`` (CLI).
@@ -16,51 +27,64 @@ Entry points: :func:`run_analysis` (library) and ``repro-lint`` /
 
 from __future__ import annotations
 
-from .lints import (
+from .driver import ANALYZER_VERSION, run_analysis
+from .fingerprint import (
+    apply_baseline,
+    attach_fingerprints,
+    load_baseline,
+    save_baseline,
+    violation_fingerprint,
+)
+from .modindex import PackageIndex
+from .passes import (
+    LintPass,
+    PassContext,
+    PassRegistry,
+    RuleMeta,
     Violation,
+    default_registry,
     key_hygiene_lint,
     secure_deletion_lint,
     stale_documented_entries,
     undocumented_flow_lint,
 )
-from .modindex import PackageIndex
 from .report import AnalysisReport, build_report
 from .resolve import Resolver
+from .sarif import to_sarif, to_sarif_json
 from .spec import LeakageSpec, load_spec
-from .taint import Flow, TaintEngine, TaintResult
+from .taint import Contribution, Flow, TaintEngine, TaintResult
+
+__version__ = ANALYZER_VERSION
 
 __all__ = [
+    "ANALYZER_VERSION",
     "AnalysisReport",
+    "Contribution",
     "Flow",
     "LeakageSpec",
+    "LintPass",
     "PackageIndex",
+    "PassContext",
+    "PassRegistry",
     "Resolver",
+    "RuleMeta",
     "TaintEngine",
     "TaintResult",
     "Violation",
+    "__version__",
+    "apply_baseline",
+    "attach_fingerprints",
+    "build_report",
+    "default_registry",
+    "key_hygiene_lint",
+    "load_baseline",
     "load_spec",
     "run_analysis",
+    "save_baseline",
+    "secure_deletion_lint",
+    "stale_documented_entries",
+    "to_sarif",
+    "to_sarif_json",
+    "undocumented_flow_lint",
+    "violation_fingerprint",
 ]
-
-
-def run_analysis(package_dir, package: str, spec_path) -> AnalysisReport:
-    """Analyze ``package_dir`` against the leakage spec at ``spec_path``."""
-    spec = load_spec(spec_path)
-    index = PackageIndex.build(package_dir, package)
-    resolver = Resolver(index)
-    engine = TaintEngine(index, resolver, spec)
-    result = engine.run()
-    violations = (
-        undocumented_flow_lint(spec, result)
-        + key_hygiene_lint(spec, result)
-        + secure_deletion_lint(index, resolver, spec, result)
-    )
-    stale = stale_documented_entries(spec, result)
-    return build_report(
-        spec,
-        result,
-        violations,
-        stale,
-        modules_analyzed=len(index.modules),
-        functions_analyzed=len(index.functions),
-    )

@@ -1,8 +1,14 @@
 """``repro-lint``: command-line front-end for the leakage analyzer.
 
 Exit codes: 0 — clean (every flow documented, lints quiet); 1 — violations
-(undocumented flow, key-hygiene, secure-deletion); 2 — usage or input error
-(missing spec, unparseable source, malformed spec).
+(undocumented flow, key-hygiene, secure-deletion, crypto-misuse,
+shared-state); 2 — usage or input error (missing spec, unparseable source,
+malformed spec or baseline).
+
+Caching: the CLI enables the incremental cache by default, at
+``.repro-lint-cache/`` next to the spec (``--cache-dir`` moves it,
+``--no-cache`` disables it). Library callers of
+:func:`repro.analysis.run_analysis` get no cache unless they opt in.
 """
 
 from __future__ import annotations
@@ -13,14 +19,17 @@ from pathlib import Path
 from typing import Optional
 
 from ..errors import AnalysisError
-from . import run_analysis
+from . import __version__, run_analysis
+from .cache import DEFAULT_CACHE_DIRNAME
 
 
 def _find_default_root() -> Optional[Path]:
     """Walk up from cwd to a directory holding leakage_spec.json + src/."""
     current = Path.cwd()
     for candidate in (current, *current.parents):
-        if (candidate / "leakage_spec.json").is_file():
+        if (candidate / "leakage_spec.json").is_file() and (
+            candidate / "src"
+        ).is_dir():
             return candidate
     return None
 
@@ -35,9 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-lint {__version__}",
+    )
+    parser.add_argument(
         "--spec",
         help="leakage spec path (default: leakage_spec.json found upward "
-        "from the current directory)",
+        "from the current directory, next to a src/ tree)",
     )
     parser.add_argument(
         "--package-dir",
@@ -50,15 +64,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="parse workers on cold runs: N>1 process pool, 1 serial "
+        "(deterministic CI debugging), 0 auto (default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="incremental-cache directory (default: "
+        f"{DEFAULT_CACHE_DIRNAME}/ next to the spec)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (always run cold)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of known violation fingerprints; only NEW "
+        "fingerprints fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file with the current findings and "
+        "exit 0",
     )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.update_baseline and not args.baseline:
+        print(
+            "repro-lint: --update-baseline requires --baseline <path>",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 0:
+        print("repro-lint: --jobs must be >= 0", file=sys.stderr)
+        return 2
     try:
         if args.spec:
             spec_path = Path(args.spec)
@@ -67,7 +119,8 @@ def main(argv=None) -> int:
             if root is None:
                 print(
                     "repro-lint: no --spec given and no leakage_spec.json "
-                    "found upward from the current directory",
+                    "(with a src/ tree beside it) found upward from the "
+                    "current directory",
                     file=sys.stderr,
                 )
                 return 2
@@ -84,13 +137,54 @@ def main(argv=None) -> int:
             package_dir = Path(args.package_dir)
         else:
             package_dir = spec_path.parent / "src" / package
-        report = run_analysis(package_dir, package, spec_path)
+
+        if args.no_cache:
+            cache_dir = None
+        elif args.cache_dir:
+            cache_dir = Path(args.cache_dir)
+        else:
+            cache_dir = spec_path.parent / DEFAULT_CACHE_DIRNAME
+
+        baseline = args.baseline if not args.update_baseline else None
+        report = run_analysis(
+            package_dir,
+            package,
+            spec_path,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            baseline=baseline,
+        )
     except AnalysisError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+
+    stats = report.cache_stats
+    if stats:
+        print(
+            "repro-lint: {mode} run, {fr}/{ft} functions analyzed "
+            "({md}/{mt} modules dirty)".format(
+                mode=stats.get("mode", "cold"),
+                fr=stats.get("functions_reanalyzed", "?"),
+                ft=stats.get("functions_total", "?"),
+                md=stats.get("modules_dirty", "?"),
+                mt=stats.get("modules_total", "?"),
+            ),
+            file=sys.stderr,
+        )
+
+    if args.update_baseline:
+        from .fingerprint import save_baseline
+
+        save_baseline(args.baseline, report.violations)
+        print(
+            f"repro-lint: baseline updated: {args.baseline} "
+            f"({len(report.violations)} finding(s) recorded)",
+            file=sys.stderr,
+        )
+        return 0
 
     rc = report.exit_code
 
@@ -112,6 +206,10 @@ def main(argv=None) -> int:
 
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        from .sarif import to_sarif_json
+
+        print(to_sarif_json(report, __version__))
     else:
         print(report.to_text())
     return rc

@@ -1,0 +1,110 @@
+"""Stable violation fingerprints and baseline files.
+
+A fingerprint identifies a violation across commits: it hashes the rule id,
+the offending module's repo-relative path, the function qualname, and the
+pass-chosen stability ``key`` (e.g. the ``taint->sink`` pair) — but *not*
+the line number or message text, so reformatting or unrelated edits above a
+finding do not churn it.
+
+A baseline file records the fingerprints of known findings. With
+``--baseline``, repro-lint suppresses baselined violations and fails only
+on *new* fingerprints — a regression gate instead of an all-or-nothing
+wall. Key-hygiene findings are deliberately NOT suppressible: a key
+reaching persistence can never be "known-acceptable" (same principle as the
+documented_flows allowlist refusing key flows).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from ..errors import AnalysisError
+from .passes.base import Violation
+
+BASELINE_VERSION = 1
+
+#: Rules a baseline may never suppress.
+NEVER_BASELINED = frozenset({"key-hygiene"})
+
+
+def violation_fingerprint(violation: Violation) -> str:
+    """sha256 over the violation's stable identity (line-drift robust)."""
+    identity = "|".join(
+        (
+            violation.rule,
+            violation.path,
+            violation.function,
+            violation.key or violation.message,
+        )
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def attach_fingerprints(violations: Iterable[Violation]) -> None:
+    for violation in violations:
+        violation.fingerprint = violation_fingerprint(violation)
+
+
+def load_baseline(path) -> Dict[str, Dict[str, str]]:
+    """fingerprint -> {"rule", "message"} from a baseline file."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{path}: malformed baseline: {exc}") from exc
+    if not isinstance(raw, dict) or "fingerprints" not in raw:
+        raise AnalysisError(
+            f"{path}: baseline must be an object with a 'fingerprints' key"
+        )
+    if raw.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"{path}: unsupported baseline version {raw.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    fingerprints = raw["fingerprints"]
+    if not isinstance(fingerprints, dict):
+        raise AnalysisError(f"{path}: 'fingerprints' must be an object")
+    return fingerprints
+
+
+def apply_baseline(
+    violations: List[Violation], baseline: Dict[str, Dict[str, str]]
+) -> int:
+    """Mark baselined violations; returns how many were suppressed."""
+    suppressed = 0
+    for violation in violations:
+        if violation.rule in NEVER_BASELINED:
+            continue
+        if violation.fingerprint in baseline:
+            violation.baselined = True
+            suppressed += 1
+    return suppressed
+
+
+def render_baseline(violations: Iterable[Violation]) -> str:
+    """Serialize the current findings as a baseline file body."""
+    fingerprints = {}
+    for violation in sorted(
+        violations, key=lambda v: (v.rule, v.path, v.function, v.key)
+    ):
+        if violation.rule in NEVER_BASELINED:
+            continue
+        fingerprints[violation.fingerprint] = {
+            "rule": violation.rule,
+            "function": violation.function,
+            "key": violation.key,
+        }
+    return json.dumps(
+        {"version": BASELINE_VERSION, "fingerprints": fingerprints},
+        indent=2,
+        sort_keys=False,
+    )
+
+
+def save_baseline(path, violations: Iterable[Violation]) -> None:
+    Path(path).write_text(render_baseline(violations) + "\n", encoding="utf-8")

@@ -1,185 +1,27 @@
-"""Companion passes: secure-deletion lint and key-hygiene lint.
+"""Backwards-compatibility shim: lints moved to :mod:`repro.analysis.passes`.
 
-Secure deletion (paper E6): MySQL frees query-path memory without zeroing
-it, so freed statement text survives into snapshots. The repo models the fix
-behind a ``secure_delete`` switch; this lint enforces that every memory
-*release point* (``SimulatedHeap.free``, arena resets, trace-ring clears)
-either consults ``secure_delete`` itself or delegates to a release point
-that does. A release call reachable from taint-carrying code with no guard
-anywhere on the path is exactly the E6 bug pattern, reintroduced.
-
-Key hygiene: key material must never reach a persistence-category sink.
-Unlike ordinary flows this cannot be allowlisted — a ``documented_flows``
-entry covering a key→persistence pair is itself reported as a violation.
+PRs 3–4 exposed the flow-gate lints from this module; the pass-registry
+refactor relocated them (and the :class:`Violation` type) under
+``repro.analysis.passes``. Import from there in new code.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass
-from typing import Dict, List, Set
+from .passes import (
+    Violation,
+    key_hygiene_lint,
+    secure_deletion_lint,
+    stale_documented_entries,
+    undocumented_flow_lint,
+)
+from .passes.flows import _guarded_release_points, _mentions_secure_delete
 
-from .modindex import PackageIndex
-from .resolve import Resolver
-from .spec import LeakageSpec
-from .taint import TaintResult
-
-
-@dataclass
-class Violation:
-    """One lint finding."""
-
-    rule: str  # "secure-deletion" | "key-hygiene" | "undocumented-flow"
-    message: str
-    function: str = ""
-    line: int = 0
-
-
-def _mentions_secure_delete(node: ast.AST) -> bool:
-    for child in ast.walk(node):
-        if isinstance(child, ast.Attribute) and child.attr == "secure_delete":
-            return True
-        if isinstance(child, ast.Name) and child.id == "secure_delete":
-            return True
-    return False
-
-
-def _guarded_release_points(
-    index: PackageIndex, result: TaintResult, release_points: Set[str]
-) -> Dict[str, bool]:
-    """Which release points gate their wipe behaviour on ``secure_delete``.
-
-    A release point is guarded directly (its body reads ``secure_delete``)
-    or by delegation (every release point it calls is guarded, and it calls
-    at least one — e.g. ``BumpArena.release`` looping over ``heap.free``).
-    """
-    direct: Dict[str, bool] = {}
-    for qual in release_points:
-        fn = index.functions.get(qual)
-        direct[qual] = fn is not None and _mentions_secure_delete(fn.node)
-    # Release-point calls *from inside* release points, per caller.
-    delegated_calls: Dict[str, List[str]] = {qual: [] for qual in release_points}
-    for caller, _line, target in result.release_sites:
-        if caller in release_points:
-            delegated_calls[caller].append(target)
-    guarded = dict(direct)
-    for _ in range(len(release_points) + 1):
-        changed = False
-        for qual in release_points:
-            if guarded[qual]:
-                continue
-            callees = delegated_calls.get(qual, [])
-            if callees and all(guarded.get(c, False) for c in callees):
-                guarded[qual] = True
-                changed = True
-        if not changed:
-            break
-    return guarded
-
-
-def secure_deletion_lint(
-    index: PackageIndex,
-    resolver: Resolver,
-    spec: LeakageSpec,
-    result: TaintResult,
-) -> List[Violation]:
-    release_points = set()
-    for name in spec.release_points:
-        qual = resolver.canonical(name)
-        if qual in index.functions:
-            release_points.add(qual)
-    guarded = _guarded_release_points(index, result, release_points)
-    violations: List[Violation] = []
-    for caller, line, target in sorted(result.release_sites):
-        if guarded.get(target, True):
-            continue
-        if caller in release_points:
-            continue  # judged at the delegating release point itself
-        if caller not in result.tainted_functions:
-            continue
-        violations.append(
-            Violation(
-                rule="secure-deletion",
-                message=(
-                    f"{caller}:{line} releases memory via {target} on a "
-                    "taint-carrying path, but the release point never "
-                    "consults secure_delete (E6: freed bytes survive into "
-                    "snapshots)"
-                ),
-                function=caller,
-                line=line,
-            )
-        )
-    return violations
-
-
-def key_hygiene_lint(spec: LeakageSpec, result: TaintResult) -> List[Violation]:
-    violations: List[Violation] = []
-    forbidden = spec.forbidden_pairs()
-    for (taint, sink_id), flow in sorted(result.flows.items()):
-        if (taint, sink_id) in forbidden:
-            violations.append(
-                Violation(
-                    rule="key-hygiene",
-                    message=(
-                        f"key material ({taint}) reaches "
-                        f"{flow.category} sink {sink_id!r} via "
-                        f"{flow.sink_callable} ({flow.function}:{flow.line})"
-                    ),
-                    function=flow.function,
-                    line=flow.line,
-                )
-            )
-    for doc in spec.documented:
-        if (doc.taint, doc.sink) in forbidden:
-            violations.append(
-                Violation(
-                    rule="key-hygiene",
-                    message=(
-                        f"spec allowlists {doc.taint}->{doc.sink}: key "
-                        "flows into persistence sinks can never be "
-                        "documented away"
-                    ),
-                )
-            )
-    return violations
-
-
-def undocumented_flow_lint(
-    spec: LeakageSpec, result: TaintResult
-) -> List[Violation]:
-    documented = spec.documented_pairs()
-    forbidden = spec.forbidden_pairs()
-    violations: List[Violation] = []
-    for (taint, sink_id), flow in sorted(result.flows.items()):
-        if (taint, sink_id) in documented:
-            continue
-        if (taint, sink_id) in forbidden:
-            continue  # reported by key-hygiene with a sharper message
-        witness = "; ".join(flow.witness)
-        violations.append(
-            Violation(
-                rule="undocumented-flow",
-                message=(
-                    f"undocumented flow {taint} -> {sink_id} at "
-                    f"{flow.function}:{flow.line}: add it to "
-                    "documented_flows with a paper/experiment reference, or "
-                    f"fix the code [{witness}]"
-                ),
-                function=flow.function,
-                line=flow.line,
-            )
-        )
-    return violations
-
-
-def stale_documented_entries(
-    spec: LeakageSpec, result: TaintResult
-) -> List[str]:
-    """Documented pairs the analyzer never observed (warnings, not failures)."""
-    observed = set(result.flows)
-    return sorted(
-        f"{doc.taint} -> {doc.sink}"
-        for doc in spec.documented
-        if (doc.taint, doc.sink) not in observed
-    )
+__all__ = [
+    "Violation",
+    "key_hygiene_lint",
+    "secure_deletion_lint",
+    "stale_documented_entries",
+    "undocumented_flow_lint",
+    "_guarded_release_points",
+    "_mentions_secure_delete",
+]

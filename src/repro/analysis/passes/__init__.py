@@ -1,0 +1,56 @@
+"""Pluggable lint passes for ``repro-lint``.
+
+:func:`default_registry` assembles the shipped passes in their canonical
+order: the three flow-gate passes (undocumented flows, key hygiene, secure
+deletion — PRs 3–4), then the crypto-misuse pass and the shared-state pass
+(both opt-in via spec sections). Downstream consumers — the driver, the
+SARIF emitter's rule table, baseline fingerprints — enumerate passes from
+the registry rather than from hard-coded call sites, so adding a check is
+one :class:`LintPass` entry here.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    LintPass,
+    PassContext,
+    PassRegistry,
+    RuleMeta,
+    Violation,
+)
+from .crypto import CRYPTO_PASS, crypto_misuse_lint
+from .flows import (
+    FLOW_PASSES,
+    key_hygiene_lint,
+    secure_deletion_lint,
+    stale_documented_entries,
+    undocumented_flow_lint,
+)
+from .shared_state import SHARED_STATE_PASS, shared_state_lint
+
+__all__ = [
+    "CRYPTO_PASS",
+    "FLOW_PASSES",
+    "LintPass",
+    "PassContext",
+    "PassRegistry",
+    "RuleMeta",
+    "SHARED_STATE_PASS",
+    "Violation",
+    "crypto_misuse_lint",
+    "default_registry",
+    "key_hygiene_lint",
+    "secure_deletion_lint",
+    "shared_state_lint",
+    "stale_documented_entries",
+    "undocumented_flow_lint",
+]
+
+
+def default_registry() -> PassRegistry:
+    registry = PassRegistry()
+    for lint_pass in FLOW_PASSES:
+        registry.register(lint_pass)
+    registry.register(CRYPTO_PASS)
+    registry.register(SHARED_STATE_PASS)
+    return registry

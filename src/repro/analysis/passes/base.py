@@ -1,0 +1,99 @@
+"""Lint-pass plumbing: violations, rule metadata, registry.
+
+``repro-lint`` findings come from *passes* — self-contained checks that
+consume one :class:`PassContext` (spec + index + resolver + taint result)
+and emit :class:`Violation` records. Passes register in a
+:class:`PassRegistry`, mirroring the snapshot ``ArtifactRegistry`` idiom:
+adding a check is one :class:`LintPass` entry, and everything downstream
+(CLI, SARIF rule table, baseline fingerprints) picks it up from the
+registry rather than from hard-coded call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..modindex import PackageIndex
+from ..resolve import Resolver
+from ..spec import LeakageSpec
+from ..taint import TaintResult
+
+
+@dataclass
+class Violation:
+    """One lint finding."""
+
+    rule: str  # rule id, e.g. "undocumented-flow", "crypto-nonce-reuse"
+    message: str
+    function: str = ""
+    line: int = 0
+    #: Repo-relative posix path of the offending module (attached by the
+    #: driver; passes may leave it empty).
+    path: str = ""
+    #: Stable identity *within* (rule, path, function) — e.g. the
+    #: "taint->sink" pair — chosen so the fingerprint survives line drift.
+    key: str = ""
+    #: sha256 fingerprint over (rule, path, function, key); attached by the
+    #: driver, consumed by baselines and SARIF partialFingerprints.
+    fingerprint: str = ""
+    #: True when a baseline file suppresses this finding.
+    baselined: bool = False
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """SARIF-facing description of one rule id."""
+
+    id: str
+    name: str
+    short_description: str
+
+
+@dataclass
+class PassContext:
+    """Everything a lint pass may consult."""
+
+    spec: LeakageSpec
+    index: PackageIndex
+    resolver: Resolver
+    result: TaintResult
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered pass: its rules and its entry point."""
+
+    name: str
+    rules: Tuple[RuleMeta, ...]
+    run: Callable[[PassContext], List[Violation]]
+
+
+class PassRegistry:
+    """Ordered collection of :class:`LintPass` entries."""
+
+    def __init__(self) -> None:
+        self._passes: Dict[str, LintPass] = {}
+
+    def register(self, lint_pass: LintPass) -> None:
+        if lint_pass.name in self._passes:
+            raise ValueError(f"duplicate lint pass: {lint_pass.name!r}")
+        self._passes[lint_pass.name] = lint_pass
+
+    def passes(self) -> Tuple[LintPass, ...]:
+        return tuple(self._passes.values())
+
+    def rules(self) -> Tuple[RuleMeta, ...]:
+        """All rule metas across passes, sorted by rule id."""
+        return tuple(
+            sorted(
+                (meta for p in self._passes.values() for meta in p.rules),
+                key=lambda m: m.id,
+            )
+        )
+
+    def run_all(self, ctx: PassContext) -> List[Violation]:
+        violations: List[Violation] = []
+        for lint_pass in self._passes.values():
+            violations.extend(lint_pass.run(ctx))
+        return violations

@@ -1,0 +1,165 @@
+"""Crypto-misuse pass: nonce reuse, key display, DET confinement.
+
+Three rules, all driven by events the taint engine records while it walks
+call sites (so the pass itself is cheap and cache-friendly):
+
+``crypto-nonce-reuse``
+    The same constant value passed as a nonce/IV parameter at two or more
+    distinct call sites. A fixed nonce under a stream cipher XORs two
+    plaintexts together — strictly worse than the paper's DET column
+    leakage, since it breaks *RND* columns too.
+
+``crypto-key-display``
+    Key-kind taint reaching a formatting/display expression (f-string,
+    ``%``-format, ``.format()``, ``repr()``, a logging call) or returned
+    from ``__repr__``/``__str__``. Display surfaces feed exactly the
+    diagnostic/telemetry sinks the paper's snapshot attacker reads.
+
+``crypto-det-misuse``
+    A deterministic-encryption source invoked outside the declared DET
+    code paths. DET leaks equality by design (paper §3.2/E2); its blast
+    radius is acceptable only on columns that opted in.
+
+The pass runs only when the spec carries a ``crypto_policy`` section, so
+minimal fixture specs and older specs see no behaviour change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import LintPass, PassContext, RuleMeta, Violation
+
+
+def _allowed(function: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        function == p or function.startswith(p + ".") for p in prefixes
+    )
+
+
+def crypto_misuse_lint(ctx: PassContext) -> List[Violation]:
+    policy = ctx.spec.crypto_policy
+    if policy is None:
+        return []
+    violations: List[Violation] = []
+
+    # -- nonce/IV reuse across call sites ---------------------------------
+    # Group constant-valued nonce arguments by (callee, param, value); two
+    # distinct sites sharing a value is reuse. A module-level constant
+    # ("global" form) counts the same as an inline literal.
+    groups: Dict[Tuple[str, str, str], List[Tuple[str, int]]] = {}
+    for fn, line, callee, param, _form, value in ctx.result.nonce_args:
+        groups.setdefault((callee, param, value), []).append((fn, line))
+    for (callee, param, value), sites in sorted(groups.items()):
+        distinct = sorted(set(sites))
+        if len(distinct) < 2:
+            continue
+        where = ", ".join(f"{fn}:{line}" for fn, line in distinct)
+        fn0, line0 = distinct[0]
+        violations.append(
+            Violation(
+                rule="crypto-nonce-reuse",
+                message=(
+                    f"nonce/IV value {value} passed to {callee}({param}=...) "
+                    f"at {len(distinct)} call sites ({where}): a repeated "
+                    "nonce voids the cipher's semantic security"
+                ),
+                function=fn0,
+                line=line0,
+                key=f"{callee}:{param}:{value}",
+            )
+        )
+
+    # -- key material reaching display surfaces ---------------------------
+    for fn, line, context, kind in ctx.result.key_format_events:
+        if _allowed(fn, policy.key_display_allowed_in):
+            continue
+        violations.append(
+            Violation(
+                rule="crypto-key-display",
+                message=(
+                    f"key material ({kind}) reaches a display surface "
+                    f"({context}) at {fn}:{line}: formatted keys end up in "
+                    "the diagnostic/log artifacts the snapshot attacker reads"
+                ),
+                function=fn,
+                line=line,
+                key=f"{context}:{kind}",
+            )
+        )
+    key_kinds = set(ctx.spec.key_taints)
+    for fn, kinds in sorted(ctx.result.return_kinds.items()):
+        leaf = fn.rsplit(".", 1)[-1]
+        if leaf not in ("__repr__", "__str__"):
+            continue
+        if _allowed(fn, policy.key_display_allowed_in):
+            continue
+        for kind in sorted(kinds & key_kinds):
+            info = ctx.index.functions.get(fn)
+            violations.append(
+                Violation(
+                    rule="crypto-key-display",
+                    message=(
+                        f"{fn} returns key material ({kind}): repr/str of "
+                        "this object prints the key wherever it is logged "
+                        "or formatted"
+                    ),
+                    function=fn,
+                    line=info.node.lineno if info is not None else 0,
+                    key=f"{leaf}-return:{kind}",
+                )
+            )
+
+    # -- deterministic encryption outside declared DET paths --------------
+    det = set(policy.det_taints)
+    if det:
+        for fn, source_qual, taint, line in ctx.result.source_invocations:
+            if taint not in det:
+                continue
+            if _allowed(fn, policy.det_allowed_in):
+                continue
+            violations.append(
+                Violation(
+                    rule="crypto-det-misuse",
+                    message=(
+                        f"deterministic encryption ({source_qual} -> "
+                        f"{taint}) invoked at {fn}:{line}, outside the "
+                        "declared DET column paths: DET leaks equality "
+                        "(paper E2) and must stay confined to opted-in "
+                        "columns"
+                    ),
+                    function=fn,
+                    line=line,
+                    key=source_qual,
+                )
+            )
+    return violations
+
+
+CRYPTO_PASS = LintPass(
+    name="crypto-misuse",
+    rules=(
+        RuleMeta(
+            id="crypto-nonce-reuse",
+            name="NonceReuse",
+            short_description=(
+                "Constant nonce/IV value shared across encrypt call sites"
+            ),
+        ),
+        RuleMeta(
+            id="crypto-key-display",
+            name="KeyDisplay",
+            short_description=(
+                "Key material reaching repr/format/logging display surfaces"
+            ),
+        ),
+        RuleMeta(
+            id="crypto-det-misuse",
+            name="DetMisuse",
+            short_description=(
+                "Deterministic encryption used outside declared DET columns"
+            ),
+        ),
+    ),
+    run=crypto_misuse_lint,
+)

@@ -1,0 +1,304 @@
+"""Shared-state pass: unguarded writes to shared mutable containers.
+
+Groundwork for the concurrency PRs the ROADMAP's "production-scale,
+heavy-traffic" north star implies: once the server handles interleaved
+sessions, any module-level or class-level mutable container written from a
+server/executor code path without a lock is a race — and, for this paper's
+threat model, a place where another session's plaintext can surface in the
+wrong response.
+
+The rule: starting from the spec's declared concurrency *entry points*
+(server/executor classes), walk the call graph; any reachable function that
+writes a shared container (module-level ``CACHE = {}``-style constant, or a
+class-body container attribute) must do so lexically inside a ``with``
+block whose context manager mentions a declared lock guard. Writes that go
+through the engine's transaction layer are invisible to this pass by
+construction — the transaction objects are instance state, not shared
+containers.
+
+The pass runs only when the spec carries a ``concurrency`` section.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..modindex import ModuleInfo, PackageIndex
+from .base import LintPass, PassContext, RuleMeta, Violation
+
+#: Call-method names that mutate the receiver container in place.
+_WRITE_METHODS = {
+    "append", "appendleft", "add", "extend", "extendleft", "insert",
+    "update", "setdefault", "push", "pop", "popitem", "popleft", "clear",
+    "remove", "discard",
+}
+
+_CONTAINER_CALLS = {
+    "dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque",
+}
+
+
+def _is_container_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = node.func
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _shared_containers(index: PackageIndex) -> Dict[Tuple[str, str], str]:
+    """(module, name) / (class leaf scope) -> container qualname.
+
+    Module-level mutable containers, plus class-body ``Assign`` containers
+    (``class Server: sessions = {}``), which are shared across instances.
+    """
+    containers: Dict[Tuple[str, str], str] = {}
+    for mod_name, module in index.modules.items():
+        for name, value in module.constants.items():
+            if _is_container_literal(value):
+                containers[(mod_name, name)] = f"{mod_name}.{name}"
+    for cls_qual, info in index.classes.items():
+        for child in info.node.body:
+            if (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and _is_container_literal(child.value)
+            ):
+                containers[(cls_qual, child.targets[0].id)] = (
+                    f"{cls_qual}.{child.targets[0].id}"
+                )
+    return containers
+
+
+def _entry_functions(ctx: PassContext) -> Set[str]:
+    policy = ctx.spec.concurrency
+    assert policy is not None
+    entries: Set[str] = set()
+    targets = {ctx.resolver.canonical(name) for name in policy.entry_points}
+    for cls_qual, info in ctx.index.classes.items():
+        mro = {cls_qual, *ctx.resolver.mro(cls_qual)}
+        if mro & targets:
+            entries.update(info.methods.values())
+    # Entry points may also name plain functions.
+    entries.update(q for q in targets if q in ctx.index.functions)
+    return entries
+
+
+def _reachable(ctx: PassContext, roots: Set[str]) -> Set[str]:
+    callees: Dict[str, Set[str]] = {}
+    for callee, callers in ctx.result.callers.items():
+        for caller in callers:
+            callees.setdefault(caller, set()).add(callee)
+    seen = set(roots)
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        for nxt in callees.get(fn, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def _local_names(fn_node: ast.AST) -> Set[str]:
+    """Names bound locally (params + assignments): these shadow globals."""
+    names: Set[str] = set()
+    args = fn_node.args
+    for a in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(a.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+        elif isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+def _mentions_guard(node: ast.expr, guards: Tuple[str, ...]) -> bool:
+    for child in ast.walk(node):
+        ident: Optional[str] = None
+        if isinstance(child, ast.Name):
+            ident = child.id
+        elif isinstance(child, ast.Attribute):
+            ident = child.attr
+        if ident is not None and any(g in ident for g in guards):
+            return True
+    return False
+
+
+class _WriteScanner(ast.NodeVisitor):
+    """Find unguarded shared-container writes in one function body."""
+
+    def __init__(
+        self,
+        ctx: PassContext,
+        module: ModuleInfo,
+        containers: Dict[Tuple[str, str], str],
+        locals_: Set[str],
+        guards: Tuple[str, ...],
+    ) -> None:
+        self.ctx = ctx
+        self.module = module
+        self.containers = containers
+        self.locals = locals_
+        self.guards = guards
+        self.depth = 0  # > 0 while inside a lock-guarded `with`
+        #: container qual -> first unguarded write line
+        self.hits: Dict[str, int] = {}
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve_base(self, node: ast.expr) -> Optional[str]:
+        """Container qualname for the base of a write target, if shared."""
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                return None
+            qual = self.containers.get((self.module.name, node.id))
+            if qual is not None:
+                return qual
+            dotted = self.module.imports.get(node.id)
+            if dotted is not None:
+                target = self.ctx.resolver.canonical(dotted)
+                prefix, _, leaf = target.rpartition(".")
+                return self.containers.get((prefix, leaf))
+            return None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            # Cls.shared[...] — class-body containers via the class name.
+            cls = self.ctx.resolver.resolve_dotted(self.module, node.value.id)
+            if cls in self.ctx.index.classes:
+                for mro_cls in (cls, *self.ctx.resolver.mro(cls)):
+                    qual = self.containers.get((mro_cls, node.attr))
+                    if qual is not None:
+                        return qual
+        return None
+
+    def _note(self, qual: Optional[str], line: int) -> None:
+        if qual is None or self.depth > 0:
+            return
+        if qual not in self.hits or line < self.hits[qual]:
+            self.hits[qual] = line
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(
+            _mentions_guard(item.context_expr, self.guards)
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        if guarded:
+            self.depth += 1
+        for child in node.body:
+            self.visit(child)
+        if guarded:
+            self.depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript):
+            self._note(self._resolve_base(target.value), target.lineno)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            self._note(self._resolve_base(func.value), node.lineno)
+        self.generic_visit(node)
+
+
+def shared_state_lint(ctx: PassContext) -> List[Violation]:
+    policy = ctx.spec.concurrency
+    if policy is None or not policy.entry_points:
+        return []
+    containers = _shared_containers(ctx.index)
+    if not containers:
+        return []
+    entries = _entry_functions(ctx)
+    reachable = _reachable(ctx, entries)
+    violations: List[Violation] = []
+    for fn_qual in sorted(reachable):
+        fn = ctx.index.functions.get(fn_qual)
+        if fn is None:
+            continue
+        module = ctx.index.modules[fn.module]
+        scanner = _WriteScanner(
+            ctx, module, containers, _local_names(fn.node), policy.lock_guards
+        )
+        for stmt in fn.node.body:
+            scanner.visit(stmt)
+        for qual, line in sorted(scanner.hits.items()):
+            violations.append(
+                Violation(
+                    rule="shared-state-unguarded",
+                    message=(
+                        f"{fn_qual}:{line} writes shared container {qual} "
+                        "on a server/executor path without holding a "
+                        f"declared lock guard ({', '.join(policy.lock_guards)})"
+                        ": under concurrent sessions this is a race and a "
+                        "cross-session leakage channel"
+                    ),
+                    function=fn_qual,
+                    line=line,
+                    key=qual,
+                )
+            )
+    return violations
+
+
+SHARED_STATE_PASS = LintPass(
+    name="shared-state",
+    rules=(
+        RuleMeta(
+            id="shared-state-unguarded",
+            name="SharedStateUnguarded",
+            short_description=(
+                "Shared mutable container written from a concurrent entry "
+                "path without a lock guard"
+            ),
+        ),
+    ),
+    run=shared_state_lint,
+)

@@ -6,7 +6,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .lints import Violation
+from .passes.base import Violation
 from .spec import LeakageSpec
 from .taint import Flow, TaintResult
 
@@ -22,10 +22,19 @@ class AnalysisReport:
     warnings: List[str] = field(default_factory=list)
     functions_analyzed: int = 0
     modules_analyzed: int = 0
+    #: Incremental-run bookkeeping (mode, dirty counts). Deliberately NOT
+    #: part of :meth:`to_dict`: findings must be byte-identical between a
+    #: cold and a warm run over the same tree, and cache stats are not.
+    cache_stats: Dict = field(default_factory=dict)
+
+    @property
+    def active_violations(self) -> List[Violation]:
+        """Violations not suppressed by a baseline."""
+        return [v for v in self.violations if not v.baselined]
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.violations else 0
+        return 1 if self.active_violations else 0
 
     @property
     def documented_flows(self) -> List[Flow]:
@@ -64,12 +73,15 @@ class AnalysisReport:
                     "message": v.message,
                     "function": v.function,
                     "line": v.line,
+                    "path": v.path,
+                    "fingerprint": v.fingerprint,
+                    "baselined": v.baselined,
                 }
                 for v in self.violations
             ],
             "stale_documented": self.stale_documented,
             "warnings": self.warnings,
-            "ok": not self.violations,
+            "ok": not self.active_violations,
         }
 
     def to_json(self) -> str:
@@ -90,18 +102,73 @@ class AnalysisReport:
                 f"  [{mark:>10}] {flow.taint:<18} -> {flow.sink:<18} "
                 f"({flow.category}) at {flow.function}:{flow.line}"
             )
-        if self.violations:
-            lines.append(f"violations: {len(self.violations)}")
-            for v in self.violations:
+        active = self.active_violations
+        suppressed = len(self.violations) - len(active)
+        if active:
+            lines.append(f"violations: {len(active)}")
+            for v in active:
                 lines.append(f"  [{v.rule}] {v.message}")
         else:
             lines.append("violations: none")
+        if suppressed:
+            lines.append(f"baselined (suppressed): {suppressed}")
         for stale in self.stale_documented:
             lines.append(f"  warning: documented flow never observed: {stale}")
         for warning in self.warnings:
             lines.append(f"  warning: {warning}")
-        lines.append("PASS" if not self.violations else "FAIL")
+        lines.append("PASS" if not active else "FAIL")
         return "\n".join(lines)
+
+    # -- cache payload -----------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        """JSON-safe snapshot of the run for the full-tree cache layer.
+
+        The spec is NOT serialized: a cache hit requires an identical spec
+        file, so the driver reloads it from disk and gets the same object.
+        """
+        return {
+            "flows": [
+                {
+                    "taint": f.taint,
+                    "sink": f.sink,
+                    "category": f.category,
+                    "sink_callable": f.sink_callable,
+                    "function": f.function,
+                    "line": f.line,
+                    "witness": list(f.witness),
+                }
+                for f in self.flows
+            ],
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "message": v.message,
+                    "function": v.function,
+                    "line": v.line,
+                    "path": v.path,
+                    "key": v.key,
+                    "fingerprint": v.fingerprint,
+                }
+                for v in self.violations
+            ],
+            "stale_documented": list(self.stale_documented),
+            "warnings": list(self.warnings),
+            "functions_analyzed": self.functions_analyzed,
+            "modules_analyzed": self.modules_analyzed,
+        }
+
+    @classmethod
+    def from_payload(cls, spec: LeakageSpec, payload: Dict) -> "AnalysisReport":
+        return cls(
+            spec=spec,
+            flows=[Flow(**f) for f in payload["flows"]],
+            violations=[Violation(**v) for v in payload["violations"]],
+            stale_documented=list(payload["stale_documented"]),
+            warnings=list(payload["warnings"]),
+            functions_analyzed=payload["functions_analyzed"],
+            modules_analyzed=payload["modules_analyzed"],
+        )
 
 
 def build_report(

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 emitter for repro-lint findings.
+
+One run, one tool (``repro-lint``), the rule table drawn from the pass
+registry so every registered rule appears in ``tool.driver.rules`` whether
+or not it fired. Violations map to ``results`` with the stable fingerprint
+exposed under ``partialFingerprints`` (GitHub code scanning uses this for
+alert dedup across commits); baselined findings are emitted at level
+``note`` with a ``suppressions`` entry rather than dropped, so the SARIF
+consumer sees the full picture.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .passes import PassRegistry, default_registry
+from .passes.base import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rules_array(registry: PassRegistry) -> List[Dict]:
+    return [
+        {
+            "id": meta.id,
+            "name": meta.name,
+            "shortDescription": {"text": meta.short_description},
+        }
+        for meta in registry.rules()
+    ]
+
+
+def _result(violation: Violation) -> Dict:
+    result: Dict = {
+        "ruleId": violation.rule,
+        "level": "note" if violation.baselined else "error",
+        "message": {"text": violation.message},
+    }
+    location: Dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": violation.path or "leakage_spec.json"}
+        }
+    }
+    if violation.line > 0:
+        location["physicalLocation"]["region"] = {
+            "startLine": violation.line
+        }
+    result["locations"] = [location]
+    if violation.fingerprint:
+        result["partialFingerprints"] = {
+            "reproLintFingerprint/v1": violation.fingerprint
+        }
+    if violation.baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined finding"}
+        ]
+    return result
+
+
+def to_sarif(report, tool_version: str, registry: PassRegistry = None) -> Dict:
+    """Build the SARIF log dict for one :class:`AnalysisReport`."""
+    if registry is None:
+        registry = default_registry()
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "version": tool_version,
+                        "rules": _rules_array(registry),
+                    }
+                },
+                "results": [_result(v) for v in report.violations],
+            }
+        ],
+    }
+
+
+def to_sarif_json(report, tool_version: str) -> str:
+    return json.dumps(to_sarif(report, tool_version), indent=2)

@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..errors import AnalysisError
 from ..snapshot.scenario import ARTIFACT_COLUMNS, StateQuadrant
@@ -87,6 +87,46 @@ ARTIFACT_CLASSES = ARTIFACT_COLUMNS
 
 
 @dataclass(frozen=True)
+class CryptoPolicy:
+    """Configuration for the crypto-misuse lint pass.
+
+    The pass only runs when a spec carries a ``crypto_policy`` section, so
+    legacy specs (and the minimal fixture specs) are unaffected.
+    """
+
+    #: Taint kinds produced by deterministic encryption. Invoking a source
+    #: that yields one of these outside ``det_allowed_in`` is flagged —
+    #: DET leaks equality, so its use must stay confined to the declared
+    #: DET column paths (paper §3.2).
+    det_taints: Tuple[str, ...] = ()
+    #: Qualname prefixes where DET-producing sources may be invoked.
+    det_allowed_in: Tuple[str, ...] = ()
+    #: Qualname prefixes where key material may legitimately reach a
+    #: formatting/display expression (e.g. the forensics layer printing
+    #: *recovered* keys is the attack demo, not a leak).
+    key_display_allowed_in: Tuple[str, ...] = ()
+    #: Extra parameter names treated as nonce/IV positions (merged with the
+    #: built-in ``nonce``/``iv`` defaults).
+    nonce_params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ConcurrencyPolicy:
+    """Configuration for the shared-state lint pass.
+
+    The pass only runs when a spec carries a ``concurrency`` section.
+    """
+
+    #: Class qualnames whose methods are concurrent entry points (server /
+    #: executor surfaces). Functions reachable from them must not write
+    #: shared mutable containers without a lock guard.
+    entry_points: Tuple[str, ...] = ()
+    #: Attribute/variable name fragments that count as lock guards when a
+    #: write site is lexically inside ``with <guard>:``.
+    lock_guards: Tuple[str, ...] = ("lock", "_lock", "mutex")
+
+
+@dataclass(frozen=True)
 class SnapshotArtifactSpec:
     """One declared snapshot artifact, cross-checked against the registry.
 
@@ -118,6 +158,8 @@ class LeakageSpec:
     sanitizers: Tuple[str, ...] = ()
     artifacts: Tuple[str, ...] = ()
     snapshot_artifacts: List[SnapshotArtifactSpec] = field(default_factory=list)
+    crypto_policy: Optional[CryptoPolicy] = None
+    concurrency: Optional[ConcurrencyPolicy] = None
     path: str = ""
 
     def documented_pairs(self) -> Set[Tuple[str, str]]:
@@ -180,6 +222,12 @@ class LeakageSpec:
                     f"documented flow {doc.taint}->{doc.sink}: unknown sink "
                     f"id {doc.sink!r}"
                 )
+        if self.crypto_policy is not None and declared:
+            for taint in self.crypto_policy.det_taints:
+                if taint not in declared:
+                    problems.append(
+                        f"crypto_policy: undeclared det taint kind {taint!r}"
+                    )
         seen_artifacts: Set[str] = set()
         for art in self.snapshot_artifacts:
             if art.name in seen_artifacts:
@@ -320,6 +368,42 @@ def load_spec(path) -> LeakageSpec:
                 f"{path}: snapshot_artifacts[{i}] malformed: {exc}"
             ) from exc
 
+    crypto_policy = None
+    raw_crypto = raw.get("crypto_policy")
+    if raw_crypto is not None:
+        if not isinstance(raw_crypto, dict):
+            raise AnalysisError(f"{path}: crypto_policy must be an object/table")
+        crypto_policy = CryptoPolicy(
+            det_taints=_as_tuple(
+                raw_crypto.get("det_taints"), "crypto_policy.det_taints"
+            ),
+            det_allowed_in=_as_tuple(
+                raw_crypto.get("det_allowed_in"), "crypto_policy.det_allowed_in"
+            ),
+            key_display_allowed_in=_as_tuple(
+                raw_crypto.get("key_display_allowed_in"),
+                "crypto_policy.key_display_allowed_in",
+            ),
+            nonce_params=_as_tuple(
+                raw_crypto.get("nonce_params"), "crypto_policy.nonce_params"
+            ),
+        )
+
+    concurrency = None
+    raw_conc = raw.get("concurrency")
+    if raw_conc is not None:
+        if not isinstance(raw_conc, dict):
+            raise AnalysisError(f"{path}: concurrency must be an object/table")
+        concurrency = ConcurrencyPolicy(
+            entry_points=_as_tuple(
+                raw_conc.get("entry_points"), "concurrency.entry_points"
+            ),
+            lock_guards=_as_tuple(
+                raw_conc.get("lock_guards", ["lock", "_lock", "mutex"]),
+                "concurrency.lock_guards",
+            ),
+        )
+
     spec = LeakageSpec(
         package=package,
         taints=dict(raw.get("taints", {})),
@@ -334,6 +418,8 @@ def load_spec(path) -> LeakageSpec:
         sanitizers=_as_tuple(raw.get("sanitizers"), "sanitizers"),
         artifacts=_as_tuple(raw.get("artifacts"), "artifacts"),
         snapshot_artifacts=snapshot_artifacts,
+        crypto_policy=crypto_policy,
+        concurrency=concurrency,
         path=str(path),
     )
     problems = spec.validate()

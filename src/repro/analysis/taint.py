@@ -13,6 +13,17 @@ A worklist drives the fixpoint: when a summary grows, its dependents (the
 function itself, its callers, attribute readers) are re-queued. Kind sets
 only grow and are drawn from the finite spec vocabulary, so this terminates.
 
+Incremental analysis support: every global fact the engine derives is also
+recorded in a per-function :class:`Contribution` (what *this* function's body
+contributed to the summaries, which sinks it hit, which crypto-relevant call
+shapes it contains). Contributions are the unit of caching: the driver seeds
+a warm engine with the cached contributions of unchanged modules and runs
+the worklist only over the changed cone (see :mod:`.driver`). Witnesses,
+flow representatives and origin maps are built *after* the fixpoint from the
+merged contributions with deterministic (min-key) tie-breaking, so results
+do not depend on worklist order — a cold run and a warm run over the same
+tree produce byte-identical findings.
+
 Precision notes (what keeps the false-positive rate workable):
 
 - Spec sources with ``via: "return"`` are *retainting* — the result carries
@@ -36,7 +47,7 @@ from __future__ import annotations
 import ast
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from .modindex import FunctionInfo, ModuleInfo, PackageIndex
 from .resolve import Resolver, _dotted_name
@@ -60,6 +71,15 @@ _CLEAN_BUILTINS = {
     "len", "isinstance", "issubclass", "bool", "id", "type", "callable",
     "hasattr", "range",
 }
+
+#: Logging-style method names: an unresolved ``x.debug(key)`` call is a
+#: display surface for whatever it formats (crypto-misuse pass input).
+_LOG_METHODS = {"log", "debug", "info", "warning", "error", "critical",
+                "exception"}
+
+#: Default parameter names treated as nonce/IV positions when the spec does
+#: not configure ``crypto_policy.nonce_params``.
+_DEFAULT_NONCE_PARAMS = ("nonce", "iv")
 
 
 class Value:
@@ -105,11 +125,83 @@ class Flow:
 
 
 @dataclass
+class Contribution:
+    """Everything one function's body contributed to the global state.
+
+    This is the unit of incremental caching. Fields split into two groups:
+
+    *Summary-feeding* outputs (``calls``, ``param_kinds``, ``returns``,
+    ``attr_kinds``, ``attr_funcs``, ``release_calls``, ``tainted``) are
+    consumed by other functions' evaluations; a warm run is exact only if a
+    re-analyzed function's new summary outputs are a superset of its cached
+    ones (checked by :meth:`retracts`, driver falls back to a full run
+    otherwise).
+
+    *Reporting* outputs (``sink_hits``, ``source_notes``, crypto events,
+    ``attr_reads``) feed flows, witnesses and lint passes; they are merged
+    deterministically after the fixpoint and never feed back into other
+    functions, so they need no retraction check.
+    """
+
+    calls: Set[str] = field(default_factory=set)
+    #: (callee, param, kind) -> min line of a contributing call site.
+    param_kinds: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    returns: Set[str] = field(default_factory=set)
+    #: (class, attr, kind) -> min line of a contributing write.
+    attr_kinds: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    attr_funcs: Set[Tuple[str, str, str]] = field(default_factory=set)
+    attr_reads: Set[Tuple[str, str]] = field(default_factory=set)
+    #: (taint, sink id) -> (min line, sink callable, category).
+    sink_hits: Dict[Tuple[str, str], Tuple[int, str, str]] = field(
+        default_factory=dict
+    )
+    release_calls: Set[Tuple[int, str]] = field(default_factory=set)
+    #: taint -> (min line, source callable) for witness origin text.
+    source_notes: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    #: (source callable, taint, line) — every declared-source invocation.
+    source_invocations: Set[Tuple[str, str, int]] = field(default_factory=set)
+    #: (line, callee, param, form, value repr); form is "const" or "global".
+    nonce_args: Set[Tuple[int, str, str, str, str]] = field(default_factory=set)
+    #: (line, context, kind) — key material reaching a format/display site.
+    key_format_events: Set[Tuple[int, str, str]] = field(default_factory=set)
+    tainted: bool = False
+
+    def retracts(self, old: "Contribution") -> bool:
+        """True if ``old`` derived a summary-feeding fact this one lost."""
+        return bool(
+            old.returns - self.returns
+            or set(old.param_kinds) - set(self.param_kinds)
+            or set(old.attr_kinds) - set(self.attr_kinds)
+            or old.attr_funcs - self.attr_funcs
+            or old.calls - self.calls
+            or {t for _, t in old.release_calls}
+            - {t for _, t in self.release_calls}
+            or (old.tainted and not self.tainted)
+        )
+
+
+@dataclass
 class TaintResult:
     flows: Dict[Tuple[str, str], Flow]
     tainted_functions: Set[str]
     release_sites: List[Tuple[str, int, str]]
     warnings: List[str]
+    #: callee -> callers, for reachability in lint passes.
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    return_kinds: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (function, line, context, kind) sorted.
+    key_format_events: List[Tuple[str, int, str, str]] = field(
+        default_factory=list
+    )
+    #: (function, line, callee, param, form, value repr) sorted.
+    nonce_args: List[Tuple[str, int, str, str, str, str]] = field(
+        default_factory=list
+    )
+    #: (function, source callable, taint, line) sorted.
+    source_invocations: List[Tuple[str, str, str, int]] = field(
+        default_factory=list
+    )
+    functions_processed: int = 0
 
 
 class TaintEngine:
@@ -133,6 +225,10 @@ class TaintEngine:
         # body-level data flow. Without this exclusion every method call on
         # a cipher would smear `key` over its results.
         self.key_kinds: FrozenSet[str] = frozenset(spec.key_taints)
+        nonce_params = set(_DEFAULT_NONCE_PARAMS)
+        if spec.crypto_policy is not None:
+            nonce_params.update(spec.crypto_policy.nonce_params)
+        self.nonce_params: FrozenSet[str] = frozenset(nonce_params)
         self._bind_spec()
 
         self.param_kinds: Dict[str, Dict[str, Set[str]]] = {}
@@ -143,16 +239,11 @@ class TaintEngine:
         self.callers: Dict[str, Set[str]] = {}
         self.attr_readers: Dict[Tuple[str, str], Set[str]] = {}
 
-        self.flows: Dict[Tuple[str, str], Flow] = {}
-        self.tainted: Set[str] = set()
-        self.release_sites: List[Tuple[str, int, str]] = []
-        self._release_seen: Set[Tuple[str, int, str]] = set()
-
-        # Witness bookkeeping.
-        self.source_calls: Dict[Tuple[str, str], str] = {}
-        self.param_origin: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
-        self.attr_origin: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
-        self.fn_attr_reads: Dict[str, Set[Tuple[str, str]]] = {}
+        #: Per-function contribution records (the incremental cache unit).
+        self.contribs: Dict[str, Contribution] = {}
+        #: Functions actually evaluated by this run's worklist (warm runs
+        #: keep this small; the bench reports it).
+        self.processed: Set[str] = set()
 
         self._queue: deque = deque()
         self._inqueue: Set[str] = set()
@@ -216,18 +307,44 @@ class TaintEngine:
             return self.resolver.method(qual, "__init__")
         return None
 
+    # -- incremental seeding -----------------------------------------------
+
+    def seed_contributions(self, cached: Mapping[str, Contribution]) -> None:
+        """Preload global summaries from cached per-function contributions.
+
+        Seeded functions are NOT enqueued: their facts are assumed current.
+        The worklist re-reaches them only if a dirty function grows one of
+        their inputs (standard monotone propagation).
+        """
+        for fn, c in cached.items():
+            self.contribs[fn] = c
+            for callee in c.calls:
+                self.callers.setdefault(callee, set()).add(fn)
+            for (callee, param, kind) in c.param_kinds:
+                self.param_kinds.setdefault(callee, {}).setdefault(
+                    param, set()
+                ).add(kind)
+            if c.returns:
+                self.return_kinds.setdefault(fn, set()).update(c.returns)
+            for (cls, attr, kind) in c.attr_kinds:
+                self.attr_kinds.setdefault((cls, attr), set()).add(kind)
+            for (cls, attr, func) in c.attr_funcs:
+                self.attr_funcs.setdefault((cls, attr), set()).add(func)
+            for key in c.attr_reads:
+                self.attr_readers.setdefault(key, set()).add(fn)
+
     # -- driver ------------------------------------------------------------
 
-    def run(self) -> TaintResult:
+    def run(self, initial: Optional[Iterable[str]] = None) -> TaintResult:
         for fn_qual, param, taint in self.param_source_seeds:
             self.param_kinds.setdefault(fn_qual, {}).setdefault(param, set()).add(
                 taint
             )
-            self.source_calls.setdefault(
-                (fn_qual, taint),
-                f"parameter {param!r} is a declared {taint} source",
-            )
-        for qual in sorted(self.index.functions):
+        if initial is None:
+            worklist = sorted(self.index.functions)
+        else:
+            worklist = sorted(q for q in initial if q in self.index.functions)
+        for qual in worklist:
             self._enqueue(qual)
         budget = max(2000, 50 * len(self.index.functions))
         steps = 0
@@ -242,11 +359,110 @@ class TaintEngine:
             qual = self._queue.popleft()
             self._inqueue.discard(qual)
             self._process(qual)
+        return self._finalize()
+
+    def _finalize(self) -> TaintResult:
+        """Merge contributions into the result with deterministic ties.
+
+        Flow representatives, witness origins and source notes are selected
+        by min-key ordering over (function, line, ...) so the outcome is a
+        pure function of the merged contribution set — independent of
+        whether facts arrived from this run's worklist or a warm cache.
+        """
+        contribs = self.contribs
+        tainted = {fn for fn, c in contribs.items() if c.tainted}
+        release_sites = sorted(
+            {
+                (fn, line, target)
+                for fn, c in contribs.items()
+                for (line, target) in c.release_calls
+            }
+        )
+
+        # Witness origin maps (min-key deterministic).
+        self.source_calls: Dict[Tuple[str, str], str] = {}
+        for fn_qual, param, taint in self.param_source_seeds:
+            self.source_calls[(fn_qual, taint)] = (
+                f"parameter {param!r} is a declared {taint} source"
+            )
+        best_note: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        for fn in sorted(contribs):
+            for taint, (line, source_qual) in contribs[fn].source_notes.items():
+                key = (fn, taint)
+                prev = best_note.get(key)
+                if prev is None or (line, source_qual) < prev:
+                    best_note[key] = (line, source_qual)
+        for (fn, taint), (line, source_qual) in best_note.items():
+            self.source_calls.setdefault(
+                (fn, taint),
+                f"{taint} produced by {source_qual} (line {line})",
+            )
+
+        self.param_origin: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
+        self.attr_origin: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
+        self.fn_attr_reads: Dict[str, Set[Tuple[str, str]]] = {}
+        for fn in sorted(contribs):
+            c = contribs[fn]
+            for (callee, param, kind), line in c.param_kinds.items():
+                key = (callee, param, kind)
+                prev = self.param_origin.get(key)
+                if prev is None or (fn, line) < prev:
+                    self.param_origin[key] = (fn, line)
+            for (cls, attr, kind), line in c.attr_kinds.items():
+                key = (cls, attr, kind)
+                prev = self.attr_origin.get(key)
+                if prev is None or (fn, line) < prev:
+                    self.attr_origin[key] = (fn, line)
+            if c.attr_reads:
+                self.fn_attr_reads.setdefault(fn, set()).update(c.attr_reads)
+
+        # Flow representatives: min (function, line, sink callable).
+        flows: Dict[Tuple[str, str], Flow] = {}
+        best_hit: Dict[Tuple[str, str], Tuple[str, int, str, str]] = {}
+        for fn in sorted(contribs):
+            for (taint, sink_id), (line, sink_qual, category) in contribs[
+                fn
+            ].sink_hits.items():
+                cand = (fn, line, sink_qual, category)
+                prev = best_hit.get((taint, sink_id))
+                if prev is None or cand[:3] < prev[:3]:
+                    best_hit[(taint, sink_id)] = cand
+        for (taint, sink_id), (fn, line, sink_qual, category) in sorted(
+            best_hit.items()
+        ):
+            flows[(taint, sink_id)] = Flow(
+                taint=taint,
+                sink=sink_id,
+                category=category,
+                sink_callable=sink_qual,
+                function=fn,
+                line=line,
+                witness=self._witness(fn, taint, line, sink_qual),
+            )
+
         return TaintResult(
-            flows=self.flows,
-            tainted_functions=self.tainted,
-            release_sites=self.release_sites,
+            flows=flows,
+            tainted_functions=tainted,
+            release_sites=release_sites,
             warnings=self.warnings,
+            callers={k: set(v) for k, v in self.callers.items()},
+            return_kinds={k: set(v) for k, v in self.return_kinds.items()},
+            key_format_events=sorted(
+                (fn, line, context, kind)
+                for fn, c in contribs.items()
+                for (line, context, kind) in c.key_format_events
+            ),
+            nonce_args=sorted(
+                (fn, line, callee, param, form, value)
+                for fn, c in contribs.items()
+                for (line, callee, param, form, value) in c.nonce_args
+            ),
+            source_invocations=sorted(
+                (fn, source_qual, taint, line)
+                for fn, c in contribs.items()
+                for (source_qual, taint, line) in c.source_invocations
+            ),
+            functions_processed=len(self.processed),
         )
 
     def _enqueue(self, qual: str) -> None:
@@ -254,11 +470,15 @@ class TaintEngine:
             self._queue.append(qual)
             self._inqueue.add(qual)
 
+    def _c(self) -> Contribution:
+        return self.contribs.setdefault(self.current, Contribution())
+
     # -- per-function evaluation ------------------------------------------
 
     def _process(self, qual: str) -> None:
         fn = self.index.functions[qual]
         self.current = qual
+        self.processed.add(qual)
         self._module = self.index.modules[fn.module]
         env: Dict[str, Value] = {}
         for name in fn.all_params():
@@ -266,7 +486,7 @@ class TaintEngine:
             ptype, pelem = self.resolver.param_type(fn, name)
             env[name] = Value(kinds, ptype, pelem)
             if kinds:
-                self.tainted.add(qual)
+                self._c().tainted = True
         if fn.cls is not None and not fn.is_staticmethod:
             args = fn.node.args
             names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
@@ -359,6 +579,7 @@ class TaintEngine:
 
     def _add_return(self, kinds: FrozenSet[str]) -> None:
         if kinds:
+            self._c().returns.update(kinds)
             self.return_kinds.setdefault(self.current, set()).update(kinds)
 
     def _bind(self, target: ast.expr, value: Value, env: Dict[str, Value]) -> None:
@@ -418,13 +639,17 @@ class TaintEngine:
     ) -> None:
         if not kinds:
             return
+        c = self._c()
+        for kind in kinds:
+            key = (cls, attr, kind)
+            prev = c.attr_kinds.get(key)
+            if prev is None or line < prev:
+                c.attr_kinds[key] = line
         store = self.attr_kinds.setdefault((cls, attr), set())
         new = set(kinds) - store
         if not new:
             return
         store.update(new)
-        for kind in new:
-            self.attr_origin.setdefault((cls, attr, kind), (self.current, line))
         for mro_cls in (cls, *self.resolver.mro(cls)):
             for reader in self.attr_readers.get((mro_cls, attr), ()):
                 self._enqueue(reader)
@@ -436,6 +661,9 @@ class TaintEngine:
         later ``obj.attr(...)`` call can invoke them."""
         if not funcs:
             return
+        c = self._c()
+        for func in funcs:
+            c.attr_funcs.add((cls, attr, func))
         store = self.attr_funcs.setdefault((cls, attr), set())
         new = set(funcs) - store
         if not new:
@@ -450,7 +678,7 @@ class TaintEngine:
     def _expr(self, node: ast.expr, env: Dict[str, Value]) -> Value:
         value = self._expr_inner(node, env)
         if value.kinds:
-            self.tainted.add(self.current)
+            self._c().tainted = True
         return value
 
     def _expr_inner(self, node: ast.expr, env: Dict[str, Value]) -> Value:
@@ -468,6 +696,12 @@ class TaintEngine:
         if isinstance(node, ast.BinOp):
             left = self._expr(node.left, env)
             right = self._expr(node.right, env)
+            if (
+                isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+            ):
+                self._note_key_format(right.kinds, node.lineno, "%-format")
             return Value(left.kinds | right.kinds)
         if isinstance(node, ast.BoolOp):
             values = [self._expr(v, env) for v in node.values]
@@ -495,6 +729,7 @@ class TaintEngine:
             kinds: FrozenSet[str] = _EMPTY
             for part in node.values:
                 kinds |= self._expr(part, env).kinds
+            self._note_key_format(kinds, node.lineno, "f-string")
             return Value(kinds)
         if isinstance(node, ast.FormattedValue):
             return Value(self._expr(node.value, env).kinds)
@@ -554,6 +789,13 @@ class TaintEngine:
         if isinstance(node, ast.Lambda):
             return EMPTY_VALUE
         return EMPTY_VALUE
+
+    def _note_key_format(
+        self, kinds: FrozenSet[str], line: int, context: str
+    ) -> None:
+        """Record key material reaching a formatting/display expression."""
+        for kind in kinds & self.key_kinds:
+            self._c().key_format_events.add((line, context, kind))
 
     def _global_value(self, name: str) -> Value:
         """Type a module-level constant, local or imported (e.g. the shared
@@ -619,10 +861,11 @@ class TaintEngine:
         kinds: Set[str] = set(base.kinds - self.key_kinds)
         funcs: Set[str] = set()
         attr_ref: Optional[Tuple[str, str]] = None
+        c = self._c()
         for cls in self.resolver.mro(base.type):
             key = (cls, attr)
             self.attr_readers.setdefault(key, set()).add(self.current)
-            self.fn_attr_reads.setdefault(self.current, set()).add(key)
+            c.attr_reads.add(key)
             kinds.update(self.attr_kinds.get(key, ()))
             funcs.update(self.attr_funcs.get(key, ()))
             if attr_ref is None and (
@@ -641,6 +884,7 @@ class TaintEngine:
 
     def _property_read(self, method: FunctionInfo) -> Value:
         self.callers.setdefault(method.qualname, set()).add(self.current)
+        self._c().calls.add(method.qualname)
         rtype, relem = self.resolver.return_type(method)
         taint = self.return_sources.get(method.qualname)
         if taint is not None:
@@ -656,9 +900,11 @@ class TaintEngine:
         )
 
     def _note_source(self, source_qual: str, taint: str, line: int) -> None:
-        self.source_calls.setdefault(
-            (self.current, taint), f"{taint} produced by {source_qual} (line {line})"
-        )
+        c = self._c()
+        c.source_invocations.add((source_qual, taint, line))
+        prev = c.source_notes.get(taint)
+        if prev is None or (line, source_qual) < prev:
+            c.source_notes[taint] = (line, source_qual)
 
     # -- calls -------------------------------------------------------------
 
@@ -786,6 +1032,10 @@ class TaintEngine:
                     self._taint_local(func.value.id, all_kinds, env)
             if receiver.attr_ref is not None and func.attr in _ACCESSORS:
                 attr_ref = receiver.attr_ref
+            if func.attr == "format" or func.attr in _LOG_METHODS:
+                self._note_key_format(all_kinds, node.lineno, f".{func.attr}()")
+        if isinstance(func, ast.Name) and func.id in ("repr", "ascii"):
+            self._note_key_format(all_kinds, node.lineno, f"{func.id}()")
         return Value(result_kinds, None, None, attr_ref)
 
     def _construct(
@@ -831,6 +1081,42 @@ class TaintEngine:
             return Value(_EMPTY, cls_qual)
         return Value(all_kinds, cls_qual)
 
+    def _record_nonce_args(
+        self, node: ast.Call, callee: FunctionInfo
+    ) -> None:
+        """Record constant-valued nonce/IV arguments at this call site."""
+        params = set(callee.all_params()) & self.nonce_params
+        if not params:
+            return
+        positional = callee.positional_params()
+
+        def classify(expr: ast.expr) -> Optional[Tuple[str, str]]:
+            if isinstance(expr, ast.Constant) and not isinstance(
+                expr.value, bool
+            ) and expr.value is not None:
+                return ("const", repr(expr.value))
+            if isinstance(expr, ast.Name):
+                const = self._module.constants.get(expr.id)
+                if isinstance(const, ast.Constant) and const.value is not None:
+                    return ("global", f"{expr.id}={const.value!r}")
+            return None
+
+        def note(param: str, expr: ast.expr) -> None:
+            shape = classify(expr)
+            if shape is not None:
+                self._c().nonce_args.add(
+                    (node.lineno, callee.qualname, param, shape[0], shape[1])
+                )
+
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(positional) and positional[i] in params:
+                note(positional[i], arg)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in params:
+                note(kw.arg, kw.value)
+
     def _invoke(
         self,
         node: ast.Call,
@@ -841,11 +1127,11 @@ class TaintEngine:
     ) -> Value:
         qual = callee.qualname
         self.callers.setdefault(qual, set()).add(self.current)
+        c = self._c()
+        c.calls.add(qual)
         if qual in self.release_points:
-            site = (self.current, node.lineno, qual)
-            if site not in self._release_seen:
-                self._release_seen.add(site)
-                self.release_sites.append(site)
+            c.release_calls.add((node.lineno, qual))
+        self._record_nonce_args(node, callee)
 
         binding: Dict[str, FrozenSet[str]] = {}
         positional = callee.positional_params()
@@ -870,15 +1156,16 @@ class TaintEngine:
         for pname, kinds in binding.items():
             if not kinds:
                 continue
+            for kind in kinds:
+                key = (qual, pname, kind)
+                prev = c.param_kinds.get(key)
+                if prev is None or node.lineno < prev:
+                    c.param_kinds[key] = node.lineno
             store = self.param_kinds.setdefault(qual, {}).setdefault(pname, set())
             new = kinds - store
             if new:
                 store.update(new)
                 changed = True
-                for kind in new:
-                    self.param_origin.setdefault(
-                        (qual, pname, kind), (self.current, node.lineno)
-                    )
         if changed:
             self._enqueue(qual)
 
@@ -915,19 +1202,12 @@ class TaintEngine:
     def _hit_sink(
         self, sink: SinkSpec, sink_qual: str, kinds: FrozenSet[str], line: int
     ) -> None:
-        for kind in sorted(kinds):
+        c = self._c()
+        for kind in kinds:
             key = (kind, sink.sink)
-            if key in self.flows:
-                continue
-            self.flows[key] = Flow(
-                taint=kind,
-                sink=sink.sink,
-                category=sink.category,
-                sink_callable=sink_qual,
-                function=self.current,
-                line=line,
-                witness=self._witness(self.current, kind, line, sink_qual),
-            )
+            prev = c.sink_hits.get(key)
+            if prev is None or line < prev[0]:
+                c.sink_hits[key] = (line, sink_qual, sink.category)
 
     def _witness(
         self, fn_qual: str, kind: str, line: int, sink_qual: str

@@ -31,7 +31,9 @@ def _as_bytes(part: Union[BytesLike, str, int]) -> bytes:
         return len(raw).to_bytes(8, "little") + b"\x01" + raw
     if isinstance(part, int):
         if part < 0:
-            raise CryptoError(f"PRF integer inputs must be non-negative: {part}")
+            # Not an f-string over `part`: PRF inputs can be key-derived,
+            # and exception text ends up in logs (crypto-key-display lint).
+            raise CryptoError("PRF integer inputs must be non-negative")
         raw = part.to_bytes((part.bit_length() + 7) // 8 or 1, "little")
         return len(raw).to_bytes(8, "little") + b"\x02" + raw
     raise CryptoError(f"unsupported PRF input type: {type(part).__name__}")

@@ -1,0 +1,1 @@
+"""Fixture: key material formatted into log lines and f-strings."""

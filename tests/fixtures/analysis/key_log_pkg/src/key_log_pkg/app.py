@@ -1,0 +1,21 @@
+"""Key material reaching display surfaces: a logging call and an f-string.
+The non-key banner must stay unflagged."""
+
+
+class KeyStore:
+    def load_key(self) -> bytes:
+        return b"0123456789abcdef"
+
+
+def startup(store: KeyStore, log) -> None:
+    key = store.load_key()
+    log.info("loaded key %s", key)
+
+
+def debug_banner(store: KeyStore) -> str:
+    key = store.load_key()
+    return f"key={key!r}"
+
+
+def safe_banner(version: str) -> str:
+    return f"server v{version} ready"

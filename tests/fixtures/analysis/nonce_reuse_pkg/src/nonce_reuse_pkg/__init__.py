@@ -1,0 +1,1 @@
+"""Fixture: the same constant nonce reused across two encrypt call sites."""

@@ -1,0 +1,29 @@
+"""Two call sites hand the cipher the same literal nonce — the classic
+stream-cipher two-time pad. A third site uses a fresh nonce and must stay
+unflagged."""
+
+
+class Rng:
+    def nonce(self) -> bytes:
+        return b"fresh-every-call"
+
+
+class StreamCipher:
+    def encrypt(self, nonce: bytes, payload: bytes) -> bytes:
+        return bytes(b ^ n for b, n in zip(payload, nonce))
+
+
+def read_row(table: str) -> bytes:
+    return b"row"
+
+
+def encrypt_row(cipher: StreamCipher, table: str) -> bytes:
+    return cipher.encrypt(b"fixed-nonce-0000", read_row(table))
+
+
+def encrypt_index(cipher: StreamCipher, entry: bytes) -> bytes:
+    return cipher.encrypt(b"fixed-nonce-0000", entry)
+
+
+def encrypt_fresh(cipher: StreamCipher, rng: Rng, entry: bytes) -> bytes:
+    return cipher.encrypt(rng.nonce(), entry)

@@ -1,0 +1,1 @@
+"""Fixture: shared dict written from a server path without a lock."""

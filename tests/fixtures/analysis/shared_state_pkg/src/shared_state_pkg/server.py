@@ -1,0 +1,19 @@
+"""Server entry points: one unguarded write (direct), one unguarded write
+through a helper call, one correctly lock-guarded write."""
+
+from .state import CACHE, _record
+
+
+class Server:
+    def __init__(self) -> None:
+        self._lock = object()
+
+    def handle(self, key: str, value: str) -> None:
+        CACHE[key] = value
+
+    def handle_indirect(self, key: str, value: str) -> None:
+        _record(key, value)
+
+    def handle_safe(self, key: str, value: str) -> None:
+        with self._lock:
+            CACHE[key] = value

@@ -1,0 +1,151 @@
+"""Tests for the incremental cache, parallel parse, and retraction fallback."""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _copy_fixture(tmp_path, name):
+    work = tmp_path / name
+    shutil.copytree(FIXTURES / name, work)
+    return work
+
+
+def _run(work, name, **kwargs):
+    return run_analysis(
+        work / "src" / name, name, work / "leakage_spec.json", **kwargs
+    )
+
+
+class TestWarmFullCache:
+    def test_second_run_is_warm_and_byte_identical(self, tmp_path):
+        work = _copy_fixture(tmp_path, "bad_flow_pkg")
+        cache = tmp_path / "cache"
+        cold = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert cold.cache_stats["mode"] == "cold"
+        warm = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert warm.cache_stats["mode"] == "warm-full"
+        assert warm.cache_stats["functions_reanalyzed"] == 0
+        assert warm.to_json() == cold.to_json()
+
+    def test_no_cache_dir_means_always_cold(self, tmp_path):
+        work = _copy_fixture(tmp_path, "bad_flow_pkg")
+        first = _run(work, "bad_flow_pkg")
+        second = _run(work, "bad_flow_pkg")
+        assert first.cache_stats["mode"] == "cold"
+        assert second.cache_stats["mode"] == "cold"
+
+    def test_spec_edit_invalidates_tree_cache(self, tmp_path):
+        work = _copy_fixture(tmp_path, "bad_flow_pkg")
+        cache = tmp_path / "cache"
+        _run(work, "bad_flow_pkg", cache_dir=cache)
+        spec_file = work / "leakage_spec.json"
+        spec_file.write_text(spec_file.read_text() + "\n")
+        rerun = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert rerun.cache_stats["mode"] != "warm-full"
+
+
+class TestIncrementalCone:
+    def test_single_module_edit_reanalyzes_only_the_cone(self, tmp_path):
+        work = _copy_fixture(tmp_path, "shared_state_pkg")
+        cache = tmp_path / "cache"
+        cold = _run(work, "shared_state_pkg", cache_dir=cache)
+
+        # Additive edit to a leaf module (server.py imports state.py, not
+        # vice versa): new helper function, nothing removed.
+        state = work / "src" / "shared_state_pkg" / "server.py"
+        state.write_text(
+            state.read_text()
+            + textwrap.dedent(
+                """
+
+                def _edit_probe() -> int:
+                    return 1
+                """
+            )
+        )
+        warm = _run(work, "shared_state_pkg", cache_dir=cache)
+        stats = warm.cache_stats
+        assert stats["mode"] == "warm-incremental"
+        # Only server.py is dirty; state.py and __init__ stay clean.
+        assert stats["modules_dirty"] < stats["modules_total"]
+        assert stats["functions_reanalyzed"] < stats["functions_total"]
+
+        # The incremental report must match a from-scratch run on the same
+        # edited tree exactly.
+        fresh = _run(work, "shared_state_pkg")
+        assert warm.to_json() == fresh.to_json()
+        assert sorted(v.fingerprint for v in warm.violations) == sorted(
+            v.fingerprint for v in cold.violations
+        )
+
+    def test_retraction_falls_back_to_cold(self, tmp_path):
+        work = _copy_fixture(tmp_path, "bad_flow_pkg")
+        cache = tmp_path / "cache"
+        cold = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert cold.violations
+
+        # Rewrite the module so previously-cached facts no longer hold
+        # (calls/taint disappear). Seeded clean summaries would be stale, so
+        # the driver must detect the retraction and redo a full run.
+        app = work / "src" / "bad_flow_pkg"
+        offenders = [
+            p for p in app.glob("*.py") if p.name != "__init__.py"
+        ]
+        target = offenders[0]
+        target.write_text(
+            '"""Stubbed out."""\n\n\ndef gone() -> None:\n    return None\n'
+        )
+        warm = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert warm.cache_stats["mode"] in {"warm-fallback", "cold"}
+        fresh = _run(work, "bad_flow_pkg")
+        assert warm.to_json() == fresh.to_json()
+
+    def test_removed_module_forces_full_run(self, tmp_path):
+        work = _copy_fixture(tmp_path, "shared_state_pkg")
+        cache = tmp_path / "cache"
+        _run(work, "shared_state_pkg", cache_dir=cache)
+        # Delete state.py and drop references so the package still parses.
+        (work / "src" / "shared_state_pkg" / "state.py").unlink()
+        server = work / "src" / "shared_state_pkg" / "server.py"
+        server.write_text(
+            '"""No shared state left."""\n\n\nclass Server:\n'
+            "    def handle(self) -> None:\n        return None\n"
+        )
+        rerun = _run(work, "shared_state_pkg", cache_dir=cache)
+        assert rerun.cache_stats["mode"] == "cold"
+        fresh = _run(work, "shared_state_pkg")
+        assert rerun.to_json() == fresh.to_json()
+
+
+class TestCacheRobustness:
+    def test_corrupted_cache_files_degrade_to_cold(self, tmp_path):
+        work = _copy_fixture(tmp_path, "bad_flow_pkg")
+        cache = tmp_path / "cache"
+        cold = _run(work, "bad_flow_pkg", cache_dir=cache)
+        for blob in cache.rglob("*"):
+            if blob.is_file():
+                blob.write_bytes(b"\x00not a cache entry\xff")
+        rerun = _run(work, "bad_flow_pkg", cache_dir=cache)
+        assert rerun.cache_stats["mode"] == "cold"
+        assert rerun.to_json() == cold.to_json()
+
+
+class TestParallelParse:
+    def test_jobs_two_matches_serial(self, tmp_path):
+        work = _copy_fixture(tmp_path, "shared_state_pkg")
+        serial = _run(work, "shared_state_pkg", jobs=1)
+        parallel = _run(work, "shared_state_pkg", jobs=2)
+        assert parallel.to_json() == serial.to_json()
+
+    def test_real_tree_serial_vs_parallel(self):
+        spec = REPO_ROOT / "leakage_spec.json"
+        pkg = REPO_ROOT / "src" / "repro"
+        serial = run_analysis(pkg, "repro", spec, jobs=1)
+        parallel = run_analysis(pkg, "repro", spec, jobs=2)
+        assert parallel.to_json() == serial.to_json()
