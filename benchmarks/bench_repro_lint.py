@@ -31,7 +31,7 @@ def _timed(label, fn):
     return result, time.perf_counter() - start
 
 
-def test_incremental_lint_speedup(tmp_path, report):
+def test_incremental_lint_speedup(tmp_path, report, bench_json):
     src = tmp_path / "src" / "repro"
     shutil.copytree(
         REPO_ROOT / "src" / "repro", src,
@@ -72,6 +72,19 @@ def test_incremental_lint_speedup(tmp_path, report):
     assert incr.to_json() == fresh.to_json(), (
         "incremental findings must match a from-scratch run"
     )
+
+    # Throughput records: functions analyzed (or validated from cache) per
+    # second; the run itself is the latency sample.
+    total = stats["functions_total"]
+    for record, seconds in (
+        ("lint_cold", cold_s),
+        ("lint_warm_full", warm_s),
+        ("lint_warm_incremental", incr_s),
+    ):
+        bench_json(
+            "repro_lint", record,
+            ops_per_sec=total / seconds, latencies=[seconds],
+        )
 
     lines = [
         "repro-lint incremental cache (real src/repro tree)",

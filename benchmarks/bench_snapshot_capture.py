@@ -83,6 +83,8 @@ def _direct_full_capture(server: MySQLServer) -> Snapshot:
     if server.obs.enabled:
         artifacts["obs_metrics"] = server.obs.metrics_dump()
         artifacts["obs_trace_raw"] = server.obs.trace_raw()
+    if server.engine.mvcc is not None:
+        artifacts["mvcc_version_chains"] = tuple(server.engine.mvcc_chain_stats())
     return Snapshot(
         scenario=AttackScenario.FULL_COMPROMISE,
         captured_at=now,
@@ -90,19 +92,24 @@ def _direct_full_capture(server: MySQLServer) -> Snapshot:
     )
 
 
-def _best_batch_time(fn) -> float:
-    """Seconds per call, best of ``_SAMPLES`` batches of ``_BATCH`` calls."""
+def _batch_times(fn) -> list:
+    """Per-call seconds for ``_SAMPLES`` batches of ``_BATCH`` calls each."""
     fn()  # warm-up, untimed
-    best = float("inf")
+    samples = []
     for _ in range(_SAMPLES):
         start = time.perf_counter()
         for _ in range(_BATCH):
             fn()
-        best = min(best, (time.perf_counter() - start) / _BATCH)
-    return best
+        samples.append((time.perf_counter() - start) / _BATCH)
+    return samples
 
 
-def test_registry_capture_overhead(report):
+def _best_batch_time(fn) -> float:
+    """Seconds per call, best of ``_SAMPLES`` batches of ``_BATCH`` calls."""
+    return min(_batch_times(fn))
+
+
+def test_registry_capture_overhead(report, bench_json):
     server = _loaded_server()
 
     # The two paths must haul the identical artifact set before the
@@ -111,11 +118,22 @@ def test_registry_capture_overhead(report):
     direct_snap = _direct_full_capture(server)
     assert set(registry_snap.artifacts) == set(direct_snap.artifacts)
 
-    direct = _best_batch_time(lambda: _direct_full_capture(server))
-    registry = _best_batch_time(
+    direct_samples = _batch_times(lambda: _direct_full_capture(server))
+    registry_samples = _batch_times(
         lambda: capture(server, AttackScenario.FULL_COMPROMISE)
     )
+    direct = min(direct_samples)
+    registry = min(registry_samples)
     overhead = registry / direct - 1.0
+
+    bench_json(
+        "snapshot", "full_compromise_direct_monolith",
+        ops_per_sec=1.0 / direct, latencies=direct_samples,
+    )
+    bench_json(
+        "snapshot", "full_compromise_registry_walk",
+        ops_per_sec=1.0 / registry, latencies=registry_samples,
+    )
 
     scenario_lines = []
     for scenario in AttackScenario:

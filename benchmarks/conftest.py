@@ -8,12 +8,14 @@ artifacts.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture
@@ -28,3 +30,46 @@ def report():
         print(text)
 
     return _report
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (fraction in [0, 1])."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@pytest.fixture
+def bench_json():
+    """Merge one stable throughput record into ``BENCH_<area>.json``.
+
+    The JSON files live at the repo root and are committed; CI re-runs the
+    benchmarks and diffs the fresh numbers against the committed ones with
+    ``tools/bench_diff.py`` (±20%), so machine-level regressions surface as
+    a failing check rather than a silent drift. Records are
+    ``{ops_per_sec, p50_us, p99_us}`` — pass per-operation latency samples
+    in seconds and the fixture derives the percentiles.
+    """
+
+    def _write(
+        area: str,
+        record: str,
+        *,
+        ops_per_sec: float,
+        latencies: Optional[Sequence[float]] = None,
+        p50_us: Optional[float] = None,
+        p99_us: Optional[float] = None,
+    ) -> None:
+        if latencies:
+            p50_us = percentile(latencies, 0.50) * 1e6
+            p99_us = percentile(latencies, 0.99) * 1e6
+        path = REPO_ROOT / f"BENCH_{area}.json"
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[record] = {
+            "ops_per_sec": round(ops_per_sec, 1),
+            "p50_us": round(p50_us, 1) if p50_us is not None else None,
+            "p99_us": round(p99_us, 1) if p99_us is not None else None,
+        }
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return _write

@@ -1,0 +1,61 @@
+"""The concurrency surface: MVCC, sharding, and the session front end.
+
+One import point for everything this repo adds on top of the seed's
+single-client engine:
+
+* :class:`~repro.engine.mvcc.MVCCManager` — per-row version chains keyed by
+  write LSN, snapshot reads, first-writer-wins conflicts;
+* :class:`~repro.server.sharding.ShardedEngine` — N hash-sharded storage
+  engines, each with its own redo/undo/binlog/buffer-pool surface;
+* :class:`~repro.server.frontend.ServerFrontend` — bounded admission,
+  per-session FIFO queues, FIFO/FAIR/RANDOM dispatch.
+
+All three register snapshot artifacts (``mvcc_version_chains``,
+``shard_log_sizes``, ``scheduler_queue``): concurrency machinery is new
+leakage, and the Figure-1 matrix and ``leakage_spec.json`` grow with it.
+The deterministic test harness driving these lives in ``tests/harness``.
+"""
+
+from ..engine.mvcc import MVCCManager, MvccChainStat, RowVersion
+from ..errors import (
+    ConcurrentTransactionError,
+    SchedulerError,
+    WriteConflictError,
+)
+from ..server.frontend import (
+    DEFAULT_QUEUE_CAPACITY,
+    ClientRequest,
+    CompletedRequest,
+    QueueTelemetry,
+    SchedulingPolicy,
+    ServerFrontend,
+    SessionScheduler,
+)
+from ..server.sharding import (
+    SPACE_ID_STRIDE,
+    ShardRouter,
+    ShardStat,
+    ShardedEngine,
+    ShardedTransaction,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_CAPACITY",
+    "SPACE_ID_STRIDE",
+    "ClientRequest",
+    "CompletedRequest",
+    "ConcurrentTransactionError",
+    "MVCCManager",
+    "MvccChainStat",
+    "QueueTelemetry",
+    "RowVersion",
+    "SchedulerError",
+    "SchedulingPolicy",
+    "ServerFrontend",
+    "SessionScheduler",
+    "ShardRouter",
+    "ShardStat",
+    "ShardedEngine",
+    "ShardedTransaction",
+    "WriteConflictError",
+]

@@ -38,6 +38,22 @@ def _capture_slow_log(server: MySQLServer) -> tuple:
     return tuple(server.slow_log.entries)
 
 
+def _capture_shard_log_sizes(server: MySQLServer) -> tuple:
+    return tuple(server.engine.shard_stats())
+
+
+def _is_sharded(server: MySQLServer) -> bool:
+    return hasattr(server.engine, "shard_stats")
+
+
+def _capture_mvcc_chains(server: MySQLServer) -> tuple:
+    return tuple(server.engine.mvcc_chain_stats())
+
+
+def _has_mvcc(server: MySQLServer) -> bool:
+    return getattr(server.engine, "mvcc", None) is not None
+
+
 def providers() -> Tuple[ArtifactProvider, ...]:
     """The engine's registered leakage surfaces."""
     return (
@@ -93,6 +109,33 @@ def providers() -> Tuple[ArtifactProvider, ...]:
             artifact_class="logs",
             capture=_capture_slow_log,
             spec_sinks=("slow_log",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+        # Per-shard log sizes: the byte/event counts of each shard's redo,
+        # undo, and binlog surface reveal the shard key's hash histogram —
+        # disk theft alone recovers the key distribution.
+        ArtifactProvider(
+            name="shard_log_sizes",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_shard_log_sizes,
+            enabled=_is_sharded,
+            spec_sinks=("shard_logs",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+        # MVCC version chains: which rows concurrent transactions contended
+        # on, with retained before-images — in-memory write history that
+        # never reached the disk logs.
+        ArtifactProvider(
+            name="mvcc_version_chains",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_mvcc_chains,
+            requires_escalation=True,
+            enabled=_has_mvcc,
+            spec_sinks=("mvcc_chains",),
             forensic_reader="repro.forensics.diagnostics",
         ),
     )

@@ -12,12 +12,13 @@ import enum
 from typing import Dict, List, Optional, Tuple
 
 from ..clock import SimClock
-from ..errors import EngineError, TransactionError
+from ..errors import ConcurrentTransactionError, EngineError, TransactionError
 from ..obs.instrumentation import NO_OP_INSTRUMENTATION, Instrumentation
 from ..storage import BTree, BufferPool, Tablespace
 from ..storage.btree import AccessPath
 from .binlog import Binlog
 from .lsn import LsnCounter
+from .mvcc import MVCCManager
 from .redo_log import DEFAULT_CAPACITY, RedoLog, RedoRecord
 from .transaction import Transaction
 from .undo_log import UndoLog, UndoRecord
@@ -51,6 +52,18 @@ class StorageEngine:
         Observability handle (:mod:`repro.obs`); storage operations and log
         appends emit spans/counters through it. Defaults to the shared
         no-op handle, which keeps the hot paths allocation-free.
+    mvcc:
+        When ``True`` (the default) the engine runs MVCC: concurrent
+        transactions interleave under snapshot isolation with
+        first-writer-wins conflicts. When ``False`` the engine keeps the
+        seed's single-client semantics but *fails loudly*
+        (:class:`~repro.errors.ConcurrentTransactionError`) if a second
+        transaction begins before the first finishes — the old silent
+        corruption is no longer reachable.
+    space_id_base:
+        Offset added to tablespace ids; sharded deployments give each
+        shard a disjoint space-id range so combined buffer-pool dumps stay
+        unambiguous (and leak which shard served each page).
     """
 
     def __init__(
@@ -62,6 +75,8 @@ class StorageEngine:
         binlog_enabled: bool = False,
         btree_fanout: int = 64,
         instrumentation: Optional[Instrumentation] = None,
+        mvcc: bool = True,
+        space_id_base: int = 0,
     ) -> None:
         self.clock = clock or SimClock()
         self.obs = instrumentation or NO_OP_INSTRUMENTATION
@@ -72,8 +87,11 @@ class StorageEngine:
         self.buffer_pool = BufferPool(buffer_pool_capacity, instrumentation=self.obs)
         self._btree_fanout = btree_fanout
         self._tables: Dict[str, Tuple[Tablespace, BTree]] = {}
-        self._next_space_id = 1
+        self._next_space_id = space_id_base + 1
         self._next_txn_id = 1
+        self.mvcc: Optional[MVCCManager] = MVCCManager() if mvcc else None
+        #: txn ids begun but not yet committed/rolled back.
+        self._active_txn_ids: set = set()
 
     # -- table management ----------------------------------------------------
 
@@ -107,15 +125,35 @@ class StorageEngine:
 
     # -- transactions ----------------------------------------------------------
 
-    def begin(self) -> Transaction:
-        """Start a transaction."""
-        txn = Transaction(txn_id=self._next_txn_id)
-        self._next_txn_id += 1
+    def begin(self, txn_id: Optional[int] = None) -> Transaction:
+        """Start a transaction.
+
+        ``txn_id`` lets a sharded coordinator impose a globally-unique id;
+        plain callers leave it ``None``. Without MVCC a second concurrent
+        transaction fails loudly instead of silently corrupting rollback
+        state (the seed's unchecked single-client assumption).
+        """
+        if self.mvcc is None and self._active_txn_ids:
+            raise ConcurrentTransactionError(
+                f"engine is running without MVCC and transaction(s) "
+                f"{sorted(self._active_txn_ids)} are still active; "
+                "interleaved transactions would corrupt rollback state"
+            )
+        if txn_id is None:
+            txn_id = self._next_txn_id
+        self._next_txn_id = max(self._next_txn_id, txn_id) + 1
+        txn = Transaction(txn_id=txn_id, snapshot_lsn=self.lsn.current)
+        self._active_txn_ids.add(txn.txn_id)
+        if self.mvcc is not None:
+            self.mvcc.begin(txn)
         return txn
 
     def commit(self, txn: Transaction) -> None:
         """Commit: binlog every statement of a write transaction."""
         txn.mark_committed()
+        self._active_txn_ids.discard(txn.txn_id)
+        if self.mvcc is not None:
+            self.mvcc.commit(txn, commit_lsn=self.lsn.current)
         if txn.is_write and self.binlog.enabled:
             timestamp = self.clock.timestamp()
             for statement in txn.statements or ["<unlogged statement>"]:
@@ -134,12 +172,31 @@ class StorageEngine:
             else:  # pragma: no cover - ops are engine-generated
                 raise TransactionError(f"unknown change op {change.op!r}")
         txn.mark_rolled_back()
+        self._active_txn_ids.discard(txn.txn_id)
+        if self.mvcc is not None:
+            self.mvcc.rollback(txn)
+
+    def log_ddl(self, timestamp: int, statement: str) -> None:
+        """Binlog a DDL statement (no row changes, no open transaction).
+
+        DDL replicates like any statement but must not register an active
+        transaction — a CREATE TABLE issued while another session's
+        transaction is open would otherwise trip the non-MVCC loud-failure
+        path.
+        """
+        if not self.binlog.enabled:
+            return
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.binlog.log(timestamp, txn_id, statement, self.lsn.current)
 
     # -- writes ----------------------------------------------------------------
 
     def insert(self, txn: Transaction, table: str, key: int, row: bytes) -> AccessPath:
         """Insert a row, logging redo (after) and undo (empty before)."""
         _, tree = self._lookup(table)
+        if self.mvcc is not None:
+            self.mvcc.check_write(txn, table, key)
         with self.obs.span("storage.insert", table=table):
             path = tree.insert(key, row)
         self.obs.count("engine.rows_written", label=table)
@@ -149,12 +206,18 @@ class StorageEngine:
         self.redo_log.log(
             RedoRecord(txn.txn_id, table, ChangeOp.INSERT.value, key, row)
         )
+        if self.mvcc is not None:
+            self.mvcc.record_write(
+                txn, table, key, ChangeOp.INSERT.value, b"", self.lsn.current
+            )
         txn.record_change(table, ChangeOp.INSERT.value, key, b"", row)
         return path
 
     def update(self, txn: Transaction, table: str, key: int, row: bytes) -> AccessPath:
         """Update a row, logging before- and after-images."""
         _, tree = self._lookup(table)
+        if self.mvcc is not None:
+            self.mvcc.check_write(txn, table, key)
         with self.obs.span("storage.update", table=table):
             before, path = tree.update(key, row)
         self.obs.count("engine.rows_written", label=table)
@@ -164,12 +227,18 @@ class StorageEngine:
         self.redo_log.log(
             RedoRecord(txn.txn_id, table, ChangeOp.UPDATE.value, key, row)
         )
+        if self.mvcc is not None:
+            self.mvcc.record_write(
+                txn, table, key, ChangeOp.UPDATE.value, before, self.lsn.current
+            )
         txn.record_change(table, ChangeOp.UPDATE.value, key, before, row)
         return path
 
     def delete(self, txn: Transaction, table: str, key: int) -> AccessPath:
         """Delete a row, logging its before-image."""
         _, tree = self._lookup(table)
+        if self.mvcc is not None:
+            self.mvcc.check_write(txn, table, key)
         with self.obs.span("storage.delete", table=table):
             before, path = tree.delete(key)
         self.obs.count("engine.rows_written", label=table)
@@ -179,38 +248,106 @@ class StorageEngine:
         self.redo_log.log(
             RedoRecord(txn.txn_id, table, ChangeOp.DELETE.value, key, b"")
         )
+        if self.mvcc is not None:
+            self.mvcc.record_write(
+                txn, table, key, ChangeOp.DELETE.value, before, self.lsn.current
+            )
         txn.record_change(table, ChangeOp.DELETE.value, key, before, b"")
         return path
 
     # -- reads --------------------------------------------------------------------
 
-    def get(self, table: str, key: int) -> Tuple[Optional[bytes], AccessPath]:
-        """Point lookup through the clustered index (touches the pool)."""
+    def get(
+        self, table: str, key: int, txn: Optional[Transaction] = None
+    ) -> Tuple[Optional[bytes], AccessPath]:
+        """Point lookup through the clustered index (touches the pool).
+
+        Under MVCC the tree's current value is rolled back to ``txn``'s
+        snapshot (``txn=None`` reads latest committed).
+        """
         _, tree = self._lookup(table)
         with self.obs.span("storage.get", table=table):
-            result = tree.get(key)
+            value, path = tree.get(key)
         self.obs.count("engine.rows_read", label=table)
-        return result
+        if self.mvcc is not None:
+            value = self.mvcc.read_row(table, key, value, txn)
+        return value, path
 
     def range(
-        self, table: str, low: Optional[int], high: Optional[int]
+        self,
+        table: str,
+        low: Optional[int],
+        high: Optional[int],
+        txn: Optional[Transaction] = None,
     ) -> Tuple[List[Tuple[int, bytes]], AccessPath]:
         """Range scan through the clustered index (touches the pool)."""
         _, tree = self._lookup(table)
         with self.obs.span("storage.range", table=table):
             entries, path = tree.range(low, high)
         self.obs.count("engine.rows_read", n=len(entries), label=table)
+        if self.mvcc is not None:
+            entries = self._snapshot_entries(table, low, high, entries, txn)
         return entries, path
 
     def scan(self, table: str) -> List[Tuple[int, bytes]]:
-        """Full scan via the maintenance path (no buffer-pool touches)."""
+        """Full scan via the maintenance path (no buffer-pool touches).
+
+        Deliberately *not* snapshot-filtered: forensics and maintenance see
+        the raw tree, uncommitted writes included — that is the leakage.
+        """
         _, tree = self._lookup(table)
         return list(tree.scan())
 
-    def full_scan(self, table: str) -> Tuple[List[Tuple[int, bytes]], AccessPath]:
+    def full_scan(
+        self, table: str, txn: Optional[Transaction] = None
+    ) -> Tuple[List[Tuple[int, bytes]], AccessPath]:
         """Full scan as query execution does it: touches every page."""
         _, tree = self._lookup(table)
         with self.obs.span("storage.scan", table=table):
             entries, path = tree.range(None, None)
         self.obs.count("engine.rows_read", n=len(entries), label=table)
+        if self.mvcc is not None:
+            entries = self._snapshot_entries(table, None, None, entries, txn)
         return entries, path
+
+    def _snapshot_entries(
+        self,
+        table: str,
+        low: Optional[int],
+        high: Optional[int],
+        entries: List[Tuple[int, bytes]],
+        txn: Optional[Transaction],
+    ) -> List[Tuple[int, bytes]]:
+        """Roll a scan's entries back to the reader's snapshot."""
+        assert self.mvcc is not None
+        out: List[Tuple[int, bytes]] = []
+        present = set()
+        for key, value in entries:
+            present.add(key)
+            visible = self.mvcc.read_row(table, key, value, txn)
+            if visible is not None:
+                out.append((key, visible))
+        extras = self.mvcc.visible_extra_rows(table, low, high, present, txn)
+        if extras:
+            out.extend(extras)
+            out.sort(key=lambda kv: kv[0])
+        return out
+
+    # -- introspection / artifacts --------------------------------------------
+
+    def tablespace_images(self) -> Dict[str, bytes]:
+        """Serialized bytes of every tablespace, keyed by table name.
+
+        Polymorphic with :class:`~repro.server.sharding.ShardedEngine`, which
+        returns per-shard-qualified names; snapshot capture calls this
+        instead of walking ``table_names`` so both engine shapes work.
+        """
+        return {
+            name: self.tablespace(name).to_bytes() for name in self.table_names
+        }
+
+    def mvcc_chain_stats(self):
+        """Version-chain summaries (empty tuple when MVCC is off)."""
+        if self.mvcc is None:
+            return ()
+        return self.mvcc.chain_stats()

@@ -34,9 +34,15 @@ class _Change:
 
 @dataclass
 class Transaction:
-    """A unit of work over the storage engine."""
+    """A unit of work over the storage engine.
+
+    ``snapshot_lsn`` is the engine LSN at :meth:`StorageEngine.begin` time;
+    under MVCC it fixes the snapshot this transaction reads (committed
+    versions with ``commit_lsn <= snapshot_lsn`` plus its own writes).
+    """
 
     txn_id: int
+    snapshot_lsn: int = 0
     statements: List[str] = field(default_factory=list)
     state: TransactionState = TransactionState.ACTIVE
     _changes: List[_Change] = field(default_factory=list)

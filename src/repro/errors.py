@@ -56,6 +56,26 @@ class TransactionError(EngineError):
     """Raised on invalid transaction state transitions."""
 
 
+class ConcurrentTransactionError(TransactionError):
+    """Raised when a second transaction begins on a non-MVCC engine.
+
+    The pre-concurrency engine silently assumed one client: interleaved
+    transactions corrupted rollback state. Engines running without MVCC now
+    fail loudly instead.
+    """
+
+
+class WriteConflictError(TransactionError):
+    """Raised on a write-write conflict under MVCC (first-writer-wins).
+
+    The transaction that touches a row second — while the first writer is
+    uncommitted, or after a conflicting commit newer than its snapshot —
+    is aborted at write time.
+    """
+
+
+
+
 class LogError(EngineError):
     """Raised when a log (redo/undo/binlog) rejects an operation."""
 
@@ -66,6 +86,10 @@ class ServerError(ReproError):
 
 class SessionError(ServerError):
     """Raised on invalid session/connection operations."""
+
+
+class SchedulerError(ServerError):
+    """Raised by the session scheduler on invalid admission or dispatch."""
 
 
 class CatalogError(ServerError):

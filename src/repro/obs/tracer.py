@@ -106,13 +106,18 @@ class SpanRecord:
 
 
 class _ActiveSpan:
-    """An open span: mutable scratch state until :meth:`Tracer.finish`."""
+    """An open span: mutable scratch state until :meth:`Tracer.finish`.
+
+    Doubles as its own context manager (``with tracer.span(...) as s:``) so
+    the hot path allocates one object per span, not two.
+    """
 
     __slots__ = ("trace_id", "span_id", "parent_id", "name", "table", "detail",
-                 "started_at")
+                 "started_at", "_tracer")
 
     def __init__(self, trace_id: int, span_id: int, parent_id: int, name: str,
-                 table: str, detail: str, started_at: float) -> None:
+                 table: str, detail: str, started_at: float,
+                 tracer: "Tracer") -> None:
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
@@ -120,22 +125,13 @@ class _ActiveSpan:
         self.table = table
         self.detail = detail
         self.started_at = started_at
-
-
-class _SpanContext:
-    """Context manager returned by :meth:`Tracer.span`."""
-
-    __slots__ = ("_tracer", "_span")
-
-    def __init__(self, tracer: "Tracer", span: _ActiveSpan) -> None:
         self._tracer = tracer
-        self._span = span
 
-    def __enter__(self) -> _ActiveSpan:
-        return self._span
+    def __enter__(self) -> "_ActiveSpan":
+        return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._tracer.finish(self._span)
+        self._tracer.finish(self)
 
 
 class Tracer:
@@ -167,6 +163,11 @@ class Tracer:
         # closes; the whole trace is then appended to the ring as one
         # record (the batch-per-trace export every real tracer does).
         self._pending: List[bytes] = []
+        # Per-name span counts of the in-flight trace; folded into the
+        # ``obs.spans`` counters when the root closes. Totals are identical
+        # to per-span inc() calls — metrics are only read between traces —
+        # but the registry lookup happens once per name, not once per span.
+        self._span_counts: Dict[str, int] = {}
         # Pre-resolved root-duration histogram (skips per-query lookup).
         self._query_hist = (
             metrics.histogram("query.duration_us") if metrics is not None else None
@@ -186,7 +187,7 @@ class Tracer:
             parent_id = 0
         span = _ActiveSpan(
             trace_id, self._next_span_id, parent_id, name, table, detail,
-            self.clock.now,
+            self.clock.now, self,
         )
         self._next_span_id += 1
         self._stack.append(span)
@@ -194,10 +195,11 @@ class Tracer:
 
     def finish(self, span: _ActiveSpan, detail: Optional[str] = None) -> None:
         """Close ``span`` (and any forgotten children above it on the stack)."""
-        if span not in self._stack:
+        stack = self._stack
+        if not stack or (stack[-1] is not span and span not in stack):
             raise ObsError(f"span {span.name!r} is not open")
-        while self._stack:  # unwind abandoned children, the span itself last
-            top = self._stack.pop()
+        while True:  # unwind abandoned children, the span itself last
+            top = stack.pop()
             if top is span:
                 break
             self._record(top, top.detail)
@@ -205,10 +207,15 @@ class Tracer:
         if not self._stack:
             self.store.append(b"".join(self._pending))
             self._pending.clear()
+            if self.metrics is not None:
+                inc = self.metrics.inc
+                for name, n in self._span_counts.items():
+                    inc("obs.spans", n, label=name)
+                self._span_counts.clear()
 
-    def span(self, name: str, table: str = "", detail: str = "") -> _SpanContext:
+    def span(self, name: str, table: str = "", detail: str = "") -> _ActiveSpan:
         """``with tracer.span("parse"):`` — begin/finish around a block."""
-        return _SpanContext(self, self.begin(name, table, detail))
+        return self.begin(name, table, detail)
 
     def _encode_str(self, text: str) -> bytes:
         """Length-prefixed UTF-8, memoized (same wire form as encode_str)."""
@@ -236,10 +243,10 @@ class Tracer:
             + self._encode_str(span.table)
             + self._encode_str(detail)
         )
-        if self.metrics is not None:
-            self.metrics.inc("obs.spans", label=span.name)
-            if span.parent_id == 0:
-                self._query_hist.observe(duration * 1e6)
+        counts = self._span_counts
+        counts[span.name] = counts.get(span.name, 0) + 1
+        if span.parent_id == 0 and self._query_hist is not None:
+            self._query_hist.observe(duration * 1e6)
 
     @property
     def open_spans(self) -> int:

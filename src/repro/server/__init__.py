@@ -24,8 +24,16 @@ from .performance_schema import (
 )
 from .information_schema import InformationSchema, ProcesslistRow
 from .server import MySQLServer, QueryResult, ServerConfig
+from .sharding import ShardRouter, ShardStat, ShardedEngine
+from .frontend import SchedulingPolicy, ServerFrontend, SessionScheduler
 
 __all__ = [
+    "SchedulingPolicy",
+    "ServerFrontend",
+    "SessionScheduler",
+    "ShardRouter",
+    "ShardStat",
+    "ShardedEngine",
     "Catalog",
     "TableSchema",
     "Session",

@@ -39,6 +39,14 @@ def _capture_adaptive_hash(server: MySQLServer) -> tuple:
     return tuple(server.adaptive_hash.hot_keys())
 
 
+def _capture_scheduler_queue(server: MySQLServer) -> dict:
+    return server.frontend.queue_telemetry()
+
+
+def _has_frontend(server: MySQLServer) -> bool:
+    return getattr(server, "frontend", None) is not None
+
+
 def providers() -> Tuple[ArtifactProvider, ...]:
     """The server layer's registered leakage surfaces."""
     return (
@@ -95,6 +103,17 @@ def providers() -> Tuple[ArtifactProvider, ...]:
             capture=_capture_adaptive_hash,
             requires_escalation=True,
             spec_sinks=("adaptive_hash",),
+            forensic_reader="repro.forensics.diagnostics",
+        ),
+        ArtifactProvider(
+            name="scheduler_queue",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_scheduler_queue,
+            requires_escalation=True,
+            enabled=_has_frontend,
+            spec_sinks=("scheduler_queue",),
             forensic_reader="repro.forensics.diagnostics",
         ),
     )

@@ -91,11 +91,12 @@ class PerformanceSchema:
         duration: float,
         rows_examined: int,
         rows_sent: int,
+        tokens=None,
     ) -> Optional[StatementEvent]:
         """Account one finished statement across all three tables."""
         if not self.enabled:
             return None
-        digest_value = compute_digest(sql_text)
+        digest_value = compute_digest(sql_text, tokens=tokens)
         text_addr = self._heap.alloc_str(sql_text, tag="perf/statement")
         event = StatementEvent(
             thread_id=thread_id,
@@ -122,7 +123,7 @@ class PerformanceSchema:
 
         summary = self._digests.get(digest_value)
         if summary is None:
-            digest_text = canonicalize(sql_text)
+            digest_text = canonicalize(sql_text, tokens=tokens)
             self._digest_addrs[digest_value] = self._heap.alloc_str(
                 digest_text, tag="perf/digest"
             )

@@ -95,6 +95,11 @@ class ServerConfig:
     row_cost_seconds: float = 1e-6
     obs_enabled: bool = False
     obs_trace_capacity: int = 512
+    #: Number of hash shards; 1 = the classic single engine.
+    num_shards: int = 1
+    #: MVCC on the engine(s); off restores the single-client engine, which
+    #: now fails loudly (ConcurrentTransactionError) on interleaving.
+    mvcc_enabled: bool = True
 
 
 @dataclass(frozen=True)
@@ -132,15 +137,31 @@ class MySQLServer:
             heap=self.heap,
             trace_capacity=self.config.obs_trace_capacity,
         )
-        self.engine = StorageEngine(
-            clock=self.clock,
-            buffer_pool_capacity=self.config.buffer_pool_capacity,
-            redo_capacity=self.config.redo_capacity,
-            undo_capacity=self.config.undo_capacity,
-            binlog_enabled=self.config.binlog_enabled,
-            btree_fanout=self.config.btree_fanout,
-            instrumentation=self.obs,
-        )
+        if self.config.num_shards > 1:
+            from .sharding import ShardedEngine
+
+            self.engine = ShardedEngine(
+                num_shards=self.config.num_shards,
+                clock=self.clock,
+                buffer_pool_capacity=self.config.buffer_pool_capacity,
+                redo_capacity=self.config.redo_capacity,
+                undo_capacity=self.config.undo_capacity,
+                binlog_enabled=self.config.binlog_enabled,
+                btree_fanout=self.config.btree_fanout,
+                instrumentation=self.obs,
+                mvcc=self.config.mvcc_enabled,
+            )
+        else:
+            self.engine = StorageEngine(
+                clock=self.clock,
+                buffer_pool_capacity=self.config.buffer_pool_capacity,
+                redo_capacity=self.config.redo_capacity,
+                undo_capacity=self.config.undo_capacity,
+                binlog_enabled=self.config.binlog_enabled,
+                btree_fanout=self.config.btree_fanout,
+                instrumentation=self.obs,
+                mvcc=self.config.mvcc_enabled,
+            )
         self.catalog = Catalog()
         self.general_log = GeneralQueryLog(enabled=self.config.general_log_enabled)
         self.slow_log = SlowQueryLog(
@@ -166,6 +187,13 @@ class MySQLServer:
         self._udfs: Dict[str, object] = {}
         self._next_session_id = 1
         self._buffer_pool_dump: Optional[BufferPoolDump] = None
+        #: Attached session scheduler (set by ServerFrontend); its queue
+        #: telemetry becomes the ``scheduler_queue`` snapshot artifact.
+        self.frontend = None
+
+    def attach_frontend(self, frontend) -> None:
+        """Register the connection front end serving this server."""
+        self.frontend = frontend
 
     # -- connections -----------------------------------------------------------
 
@@ -200,11 +228,11 @@ class MySQLServer:
         """Run one SQL statement on ``session``."""
         timestamp = self.clock.timestamp()
         session.begin_statement(sql, timestamp)
-        self._spill_statement_strings(session, sql)
+        tokens = self._spill_statement_strings(session, sql)
         query_span = self.obs.begin_span("query")
         try:
             with self.obs.span("parse"):
-                stmt = parse(sql)
+                stmt = parse(sql, tokens=tokens)
             with self.obs.span("execute", detail=type(stmt).__name__):
                 if isinstance(stmt, Select):
                     result = self._execute_select(session, stmt)
@@ -230,7 +258,8 @@ class MySQLServer:
             # must recover even if the accounting itself trips.
             try:
                 self._account_statement(
-                    session, sql, timestamp, rows_examined=0, rows_sent=0
+                    session, sql, timestamp, rows_examined=0, rows_sent=0,
+                    tokens=tokens,
                 )
             finally:
                 self.obs.end_span(query_span, detail="error")
@@ -243,6 +272,7 @@ class MySQLServer:
             timestamp,
             rows_examined=result.rows_examined,
             rows_sent=result.rows_sent,
+            tokens=tokens,
         )
         # The root span closes after accounting so its duration covers the
         # whole statement; its detail is the digest — the "query type"
@@ -261,21 +291,26 @@ class MySQLServer:
 
     # -- memory spill of statement strings (Section 5 mechanisms) -----------------
 
-    def _spill_statement_strings(self, session: Session, sql: str) -> None:
+    def _spill_statement_strings(self, session: Session, sql: str):
         """Copy tokens into the session arena the way parser items do.
 
         The lexer keeps the raw token text, the parser keeps the parsed
         value: two independent copies per identifier/literal, both living in
         the statement arena until overwritten.
+
+        Returns the token list so the statement is tokenized exactly once
+        (parse, digest, and canonicalize all reuse it); ``None`` on lexer
+        errors, which then surface from ``parse``.
         """
         try:
             tokens = tokenize(sql)
         except SQLError:
-            return  # lexically invalid input never reaches the parser
+            return None  # lexically invalid input never reaches the parser
         for token in tokens:
             if token.type in (TokenType.IDENTIFIER, TokenType.STRING):
                 session.query_arena.alloc_str(token.text)      # lexer copy
                 session.query_arena.alloc_str(str(token.value))  # parser copy
+        return tokens
 
     def _account_statement(
         self,
@@ -284,6 +319,7 @@ class MySQLServer:
         timestamp: int,
         rows_examined: int,
         rows_sent: int,
+        tokens=None,
     ) -> Tuple[float, str]:
         """Clock, logs, and performance-schema bookkeeping for a statement.
 
@@ -313,11 +349,12 @@ class MySQLServer:
             duration=duration,
             rows_examined=rows_examined,
             rows_sent=rows_sent,
+            tokens=tokens,
         )
         if event is not None:
             digest_value = event.digest
         elif self.obs.enabled:
-            digest_value = compute_digest(sql)
+            digest_value = compute_digest(sql, tokens=tokens)
         else:
             digest_value = ""
         return duration, digest_value
@@ -343,7 +380,9 @@ class MySQLServer:
                 from_cache=True,
             )
 
-        candidate_rows, rows_examined = self._fetch_candidates(schema, stmt)
+        candidate_rows, rows_examined = self._fetch_candidates(
+            schema, stmt, txn=session.active_txn
+        )
         # Executor string copies: the comparison constants of the WHERE
         # clause are materialized once per query (Item::val_str style).
         if stmt.where is not None:
@@ -381,23 +420,29 @@ class MySQLServer:
         )
 
     def _fetch_candidates(
-        self, schema: TableSchema, stmt: Select
+        self, schema: TableSchema, stmt: Select, txn=None
     ) -> Tuple[List[Row], int]:
-        """Fetch rows via the planned access path, touching the buffer pool."""
+        """Fetch rows via the planned access path, touching the buffer pool.
+
+        ``txn`` is the session's open transaction (or ``None`` for
+        autocommit reads); under MVCC it fixes the snapshot.
+        """
         with self.obs.span("plan", table=schema.name):
             plan = plan_select(stmt, schema.primary_key)
         if plan.kind is PlanKind.PK_LOOKUP:
             assert plan.key_equal is not None
-            payload, _ = self.engine.get(schema.name, plan.key_equal)
+            payload, _ = self.engine.get(schema.name, plan.key_equal, txn=txn)
             self.adaptive_hash.record_lookup(schema.name, plan.key_equal)
             if payload is None:
                 return [], 0
             row, _ = decode_row(payload)
             return [row], 1
         if plan.kind is PlanKind.PK_RANGE:
-            entries, _ = self.engine.range(schema.name, plan.key_low, plan.key_high)
+            entries, _ = self.engine.range(
+                schema.name, plan.key_low, plan.key_high, txn=txn
+            )
         else:
-            entries, _ = self.engine.full_scan(schema.name)
+            entries, _ = self.engine.full_scan(schema.name, txn=txn)
         rows = [decode_row(payload)[0] for _, payload in entries]
         return rows, len(rows)
 
@@ -627,7 +672,7 @@ class MySQLServer:
         affected = 0
         examined = 0
         try:
-            entries, _ = self.engine.full_scan(stmt.table)
+            entries, _ = self.engine.full_scan(stmt.table, txn=txn)
             for key, payload in entries:
                 examined += 1
                 row, _ = decode_row(payload)
@@ -663,7 +708,7 @@ class MySQLServer:
         affected = 0
         examined = 0
         try:
-            entries, _ = self.engine.full_scan(stmt.table)
+            entries, _ = self.engine.full_scan(stmt.table, txn=txn)
             for key, payload in entries:
                 examined += 1
                 row, _ = decode_row(payload)
@@ -690,12 +735,9 @@ class MySQLServer:
     def _execute_create(self, stmt: CreateTable) -> QueryResult:
         self.catalog.create_table(stmt.table, stmt.columns, stmt.primary_key)
         self.engine.register_table(stmt.table)
-        # DDL goes to the binlog like any replicated statement.
-        if self.engine.binlog.enabled:
-            txn = self.engine.begin()
-            self.engine.binlog.log(
-                self.clock.timestamp(), txn.txn_id, stmt.raw, self.engine.lsn.current
-            )
+        # DDL goes to the binlog like any replicated statement (but never
+        # opens a transaction — see StorageEngine.log_ddl).
+        self.engine.log_ddl(self.clock.timestamp(), stmt.raw)
         return QueryResult(
             statement=stmt.raw,
             columns=(),

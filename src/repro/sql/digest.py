@@ -30,14 +30,16 @@ from typing import List
 from .lexer import TokenType, tokenize
 
 
-def canonicalize(sql: str) -> str:
+def canonicalize(sql: str, tokens=None) -> str:
     """Return the canonical "query type" text for ``sql``.
 
     Runs of ``?`` produced by multi-value lists (``VALUES (?, ?, ?)``)
     stay distinct per position, matching MySQL's behaviour of preserving
-    statement structure.
+    statement structure. ``tokens`` may carry a pre-lexed stream to avoid
+    re-tokenizing on the statement hot path.
     """
-    tokens = tokenize(sql)
+    if tokens is None:
+        tokens = tokenize(sql)
     parts: List[str] = []
     for token in tokens:
         if token.type is TokenType.EOF:
@@ -64,6 +66,8 @@ def canonicalize(sql: str) -> str:
     return text
 
 
-def digest(sql: str) -> str:
+def digest(sql: str, tokens=None) -> str:
     """Return the hex digest identifying ``sql``'s canonical form."""
-    return hashlib.sha256(canonicalize(sql).encode("utf-8")).hexdigest()[:32]
+    return hashlib.sha256(
+        canonicalize(sql, tokens=tokens).encode("utf-8")
+    ).hexdigest()[:32]

@@ -9,7 +9,7 @@ while the parsed value feeds execution.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import re
 from typing import List, Union
 
 from ..errors import LexerError
@@ -34,91 +34,115 @@ class TokenType(enum.Enum):
     EOF = "eof"
 
 
-@dataclass(frozen=True)
 class Token:
-    """One lexical token with its raw source text and position."""
+    """One lexical token with its raw source text and position.
 
-    type: TokenType
-    text: str
-    value: Union[str, int, bytes, None]
-    position: int
+    A hand-rolled slotted class rather than a dataclass: tokens are the
+    single most-allocated object in the hot path (every statement is a
+    dozen of them), and the frozen-dataclass ``__init__`` costs ~3x a
+    plain one.
+    """
+
+    __slots__ = ("type", "text", "value", "position")
+
+    def __init__(
+        self,
+        type: TokenType,
+        text: str,
+        value: Union[str, int, bytes, None],
+        position: int,
+    ) -> None:
+        self.type = type
+        self.text = text
+        self.value = value
+        self.position = position
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.type is other.type
+            and self.text == other.text
+            and self.value == other.value
+            and self.position == other.position
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Token(type={self.type!r}, text={self.text!r}, "
+            f"value={self.value!r}, position={self.position!r})"
+        )
 
     def is_keyword(self, word: str) -> bool:
         return self.type is TokenType.KEYWORD and self.text.upper() == word
 
 
-_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
 # "?" appears in canonicalized digest text; accepting it keeps the lexer
 # total over its own canonical output (the parser still rejects it).
-_PUNCT = "(),*;.?"
-_DIGITS = "0123456789"
+#
+# One compiled master pattern (hot path: every statement is lexed exactly
+# once and the token list threaded through parse/digest/spill). Alternation
+# order matters: ``hex`` before ``word`` so a lone ``x`` stays an
+# identifier but ``x'..'`` lexes as a literal, and explicit ASCII digits
+# only — str.isdigit() accepts unicode digits like "²" that int() then
+# rejects (found by fuzzing). ``[^\W\d]\w*`` is the regex spelling of the
+# historical scanner's identifier rule (leading isalpha()/underscore,
+# isalnum()/underscore continuation, unicode included).
+_MASTER_RE = re.compile(
+    r"(?P<ws>\s+)"
+    r"|(?P<hex>x'[^']*')"
+    r"|(?P<str>'[^']*')"
+    r"|(?P<num>-?[0-9]+)"
+    r"|(?P<word>[^\W\d]\w*)"
+    r"|(?P<op><=|>=|!=|<>|[=<>])"
+    r"|(?P<punct>[(),*;.?])"
+)
 
 
 def tokenize(sql: str) -> List[Token]:
     """Tokenize ``sql``; raises :class:`LexerError` on invalid input."""
     tokens: List[Token] = []
-    i = 0
+    append = tokens.append
+    match = _MASTER_RE.match
+    pos = 0
     n = len(sql)
-    while i < n:
-        ch = sql[i]
-        if ch.isspace():
-            i += 1
+    while pos < n:
+        m = match(sql, pos)
+        if m is None:
+            ch = sql[pos]
+            if ch.isspace():  # non-ASCII whitespace the \s class misses
+                pos += 1
+                continue
+            if ch == "'":
+                raise LexerError("unterminated string literal", pos)
+            if ch == "x" and pos + 1 < n and sql[pos + 1] == "'":
+                raise LexerError("unterminated hex literal", pos)
+            raise LexerError(f"unexpected character {ch!r}", pos)
+        kind = m.lastgroup
+        raw = m.group()
+        if kind == "ws":
+            pos = m.end()
             continue
-        if ch == "'":
-            end = sql.find("'", i + 1)
-            if end < 0:
-                raise LexerError("unterminated string literal", i)
-            raw = sql[i : end + 1]
-            tokens.append(Token(TokenType.STRING, raw, raw[1:-1], i))
-            i = end + 1
-            continue
-        if ch == "x" and i + 1 < n and sql[i + 1] == "'":
-            end = sql.find("'", i + 2)
-            if end < 0:
-                raise LexerError("unterminated hex literal", i)
-            raw = sql[i : end + 1]
-            hex_body = sql[i + 2 : end]
-            try:
-                value = bytes.fromhex(hex_body)
-            except ValueError:
-                raise LexerError(f"invalid hex literal {raw!r}", i) from None
-            tokens.append(Token(TokenType.HEX, raw, value, i))
-            i = end + 1
-            continue
-        # Explicit ASCII digits: str.isdigit() accepts unicode digits like
-        # "²" that int() then rejects (found by fuzzing).
-        if ch in _DIGITS or (ch == "-" and i + 1 < n and sql[i + 1] in _DIGITS):
-            j = i + 1
-            while j < n and sql[j] in _DIGITS:
-                j += 1
-            raw = sql[i:j]
-            tokens.append(Token(TokenType.NUMBER, raw, int(raw), i))
-            i = j
-            continue
-        if ch.isalpha() or ch == "_":
-            j = i
-            while j < n and (sql[j].isalnum() or sql[j] == "_"):
-                j += 1
-            raw = sql[i:j]
-            kind = (
-                TokenType.KEYWORD if raw.upper() in KEYWORDS else TokenType.IDENTIFIER
+        if kind == "word":
+            token_type = (
+                TokenType.KEYWORD if raw.upper() in KEYWORDS
+                else TokenType.IDENTIFIER
             )
-            tokens.append(Token(kind, raw, raw, i))
-            i = j
-            continue
-        matched = False
-        for op in _OPERATORS:
-            if sql.startswith(op, i):
-                tokens.append(Token(TokenType.OPERATOR, op, op, i))
-                i += len(op)
-                matched = True
-                break
-        if matched:
-            continue
-        if ch in _PUNCT:
-            tokens.append(Token(TokenType.PUNCT, ch, ch, i))
-            i += 1
-            continue
-        raise LexerError(f"unexpected character {ch!r}", i)
-    tokens.append(Token(TokenType.EOF, "", None, n))
+            append(Token(token_type, raw, raw, pos))
+        elif kind == "num":
+            append(Token(TokenType.NUMBER, raw, int(raw), pos))
+        elif kind == "str":
+            append(Token(TokenType.STRING, raw, raw[1:-1], pos))
+        elif kind == "hex":
+            try:
+                value = bytes.fromhex(raw[2:-1])
+            except ValueError:
+                raise LexerError(f"invalid hex literal {raw!r}", pos) from None
+            append(Token(TokenType.HEX, raw, value, pos))
+        elif kind == "op":
+            append(Token(TokenType.OPERATOR, raw, raw, pos))
+        else:
+            append(Token(TokenType.PUNCT, raw, raw, pos))
+        pos = m.end()
+    append(Token(TokenType.EOF, "", None, n))
     return tokens

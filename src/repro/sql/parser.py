@@ -29,9 +29,9 @@ from .lexer import Token, TokenType, tokenize
 
 
 class _Parser:
-    def __init__(self, sql: str) -> None:
+    def __init__(self, sql: str, tokens=None) -> None:
         self.raw = sql
-        self.tokens = tokenize(sql)
+        self.tokens = tokenize(sql) if tokens is None else tokens
         self.pos = 0
 
     # -- token stream helpers -------------------------------------------
@@ -327,8 +327,13 @@ class _Parser:
         return Comparison(column=column, op=op, value=self.literal())
 
 
-def parse(sql: str) -> Statement:
-    """Parse one SQL statement; raises :class:`ParseError` on bad input."""
+def parse(sql: str, tokens=None) -> Statement:
+    """Parse one SQL statement; raises :class:`ParseError` on bad input.
+
+    ``tokens`` may carry the statement's pre-lexed token stream so hot
+    paths that already tokenized (the server spills token strings into the
+    session arena before parsing) lex each statement exactly once.
+    """
     if not sql or not sql.strip():
         raise ParseError("empty statement")
-    return _Parser(sql).statement()
+    return _Parser(sql, tokens=tokens).statement()

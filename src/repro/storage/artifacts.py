@@ -21,10 +21,9 @@ def _capture_buffer_pool_dump(server: MySQLServer) -> BufferPoolDump:
 
 
 def _capture_tablespace_images(server: MySQLServer) -> Dict[str, bytes]:
-    return {
-        name: server.engine.tablespace(name).to_bytes()
-        for name in server.engine.table_names
-    }
+    # Polymorphic over StorageEngine / ShardedEngine (the sharded engine
+    # returns per-shard-qualified names, e.g. ``t@shard3``).
+    return server.engine.tablespace_images()
 
 
 def _capture_live_buffer_pool(server: MySQLServer) -> BufferPoolDump:

@@ -18,7 +18,7 @@ which is faithful enough for every experiment here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import StorageError
 from .page import Page, PageType
@@ -98,6 +98,11 @@ class BTree:
         root = tablespace.allocate(PageType.INDEX_LEAF, level=0)
         self._root_id = root.page_id
         self._size = 0
+        # Decoded-record cache: page_id -> (page.version, decoded entries).
+        # Pages are re-decoded only after mutation; callers treat the cached
+        # lists as read-only. Under heavy traffic this removes the dominant
+        # per-operation cost (re-parsing every page on every descent).
+        self._decoded: Dict[int, Tuple[int, list]] = {}
 
     # -- plumbing ----------------------------------------------------------
 
@@ -125,10 +130,20 @@ class BTree:
         return page
 
     def _leaf_entries(self, page: Page) -> List[Tuple[int, bytes]]:
-        return [_decode_leaf_entry(r) for r in page.records]
+        cached = self._decoded.get(page.page_id)
+        if cached is not None and cached[0] == page.version:
+            return cached[1]
+        entries = [_decode_leaf_entry(r) for r in page.records]
+        self._decoded[page.page_id] = (page.version, entries)
+        return entries
 
     def _internal_entries(self, page: Page) -> List[Tuple[int, int]]:
-        return [_decode_internal_entry(r) for r in page.records]
+        cached = self._decoded.get(page.page_id)
+        if cached is not None and cached[0] == page.version:
+            return cached[1]
+        entries = [_decode_internal_entry(r) for r in page.records]
+        self._decoded[page.page_id] = (page.version, entries)
+        return entries
 
     def _rewrite(self, page: Page, records: List[bytes]) -> None:
         while page.num_records:
@@ -164,9 +179,10 @@ class BTree:
         slot = self._insert_position(keys, key)
         if slot < len(keys) and keys[slot] == key:
             raise StorageError(f"duplicate key {key}")
-        records = leaf.records
-        records.insert(slot, _leaf_entry(key, payload))
-        self._rewrite(leaf, records)
+        leaf.insert(_leaf_entry(key, payload), slot)
+        # Patch the decoded cache in place instead of re-parsing the leaf.
+        entries.insert(slot, (key, payload))
+        self._decoded[leaf.page_id] = (leaf.version, entries)
         self._size += 1
         self._split_up(stack)
         return path
@@ -188,6 +204,8 @@ class BTree:
         for slot, (entry_key, old_payload) in enumerate(entries):
             if entry_key == key:
                 leaf.replace(slot, _leaf_entry(key, payload))
+                entries[slot] = (key, payload)
+                self._decoded[leaf.page_id] = (leaf.version, entries)
                 return old_payload, path
         raise StorageError(f"update of missing key {key}")
 
@@ -199,6 +217,8 @@ class BTree:
         for slot, (entry_key, old_payload) in enumerate(entries):
             if entry_key == key:
                 leaf.delete(slot)
+                entries.pop(slot)
+                self._decoded[leaf.page_id] = (leaf.version, entries)
                 self._size -= 1
                 return old_payload, path
         raise StorageError(f"delete of missing key {key}")

@@ -61,6 +61,9 @@ class Page:
         self.capacity = capacity
         self._records: List[bytes] = []
         self._used = 0
+        #: Bumped on every mutation; lets caches of decoded records detect
+        #: staleness without hashing page contents.
+        self.version = 0
 
     # -- record management -----------------------------------------------
 
@@ -98,6 +101,7 @@ class Page:
             raise PageError(f"bad slot {slot} for page with {len(self._records)} records")
         self._records.insert(slot, bytes(record))
         self._used += len(record) + 4
+        self.version += 1
         return slot
 
     def read(self, slot: int) -> bytes:
@@ -116,6 +120,7 @@ class Page:
             )
         self._records[slot] = bytes(record)
         self._used += delta
+        self.version += 1
         return old
 
     def delete(self, slot: int) -> bytes:
@@ -123,6 +128,7 @@ class Page:
         self._check_slot(slot)
         old = self._records.pop(slot)
         self._used -= len(old) + 4
+        self.version += 1
         return old
 
     def _check_slot(self, slot: int) -> None:

@@ -1,0 +1,88 @@
+"""E7/E13-shaped statement streams for the concurrency harness.
+
+These reproduce the statement *shapes* of the experiments — E7's SSE
+document inserts and ``MATCH`` searches, E13's OPE-encrypted column
+inserts and range probes — as plain deterministic statement lists: tags
+and body ciphertexts are derived with SHA-256 (not the live randomized
+ciphers) so two harness runs produce byte-identical statements and the
+serial/concurrent artifact comparison is exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Tuple
+
+from repro.crypto.ope import OpeCipher
+from repro.workloads import generate_corpus, zipf_frequencies
+
+
+def _tag(keyword: str) -> str:
+    """A deterministic SSE-tag stand-in (32 hex chars, like a PRF tag)."""
+    return hashlib.sha256(b"e7-tag:" + keyword.encode("utf-8")).hexdigest()[:32]
+
+
+def e7_statements(
+    num_documents: int = 96,
+    vocabulary_size: int = 48,
+    num_searches: int = 32,
+    seed: int = 0,
+) -> Tuple[List[str], List[str]]:
+    """E7-shaped SSE workload: ``(setup_ddl, statements)``.
+
+    Inserts hex-tag documents into the E7 table shape, interleaved with
+    ``MATCH`` searches over the most frequent keywords.
+    """
+    rng = random.Random(seed)
+    corpus = generate_corpus(
+        num_documents=num_documents, vocabulary_size=vocabulary_size, seed=seed
+    )
+    setup = ["CREATE TABLE docs (id INT PRIMARY KEY, tags TEXT, body BLOB)"]
+    statements: List[str] = []
+    for doc in corpus.documents:
+        tags = " ".join(sorted({_tag(word) for word in doc.keywords if word}))
+        body_hex = hashlib.sha256(doc.body.encode("utf-8")).hexdigest()
+        statements.append(
+            f"INSERT INTO docs (id, tags, body) "
+            f"VALUES ({doc.doc_id}, '{tags}', x'{body_hex}')"
+        )
+    top = corpus.top_keywords(min(vocabulary_size, 24))
+    for _ in range(num_searches):
+        keyword = rng.choice(top)
+        statements.append(
+            f"SELECT id FROM docs WHERE MATCH(tags, '{_tag(keyword)}')"
+        )
+    return setup, statements
+
+
+def e13_statements(
+    num_rows: int = 128,
+    domain_low: int = 18,
+    domain_high: int = 90,
+    zipf_s: float = 0.8,
+    num_probes: int = 24,
+    seed: int = 0,
+) -> Tuple[List[str], List[str]]:
+    """E13-shaped OPE workload: ``(setup_ddl, statements)``.
+
+    OPE-encrypted age inserts into the E13 ``staff`` table, interleaved
+    with the order-revealing range probes the scheme exists to serve.
+    """
+    rng = random.Random(seed)
+    domain = list(range(domain_low, domain_high + 1))
+    model = zipf_frequencies(domain, s=zipf_s)
+    ope = OpeCipher(b"ope-harness-key-0123456789abcdef", plaintext_bits=8)
+    setup = ["CREATE TABLE staff (id INT PRIMARY KEY, age_ope INT)"]
+    statements: List[str] = []
+    ages = rng.choices(domain, weights=[model[v] for v in domain], k=num_rows)
+    for row_id, age in enumerate(ages, start=1):
+        statements.append(
+            f"INSERT INTO staff (id, age_ope) VALUES ({row_id}, {ope.encrypt(age)})"
+        )
+    for _ in range(num_probes):
+        low = ope.encrypt(rng.randint(domain_low, domain_high - 1))
+        statements.append(
+            f"SELECT COUNT(*) FROM staff WHERE age_ope >= {low}"
+        )
+    return setup, statements

@@ -1,0 +1,127 @@
+"""Diff freshly-measured BENCH_*.json records against committed baselines.
+
+CI regenerates the benchmark JSONs (``pytest benchmarks/``) and then runs
+this tool: every record's ``ops_per_sec`` must stay within ``--tolerance``
+(default ±20%) of the value committed at ``--baseline-ref`` (default
+``HEAD``). Latency percentiles are compared with a looser bound
+(``--latency-tolerance``, default ±60%) because p99 under a shared CI
+container is far noisier than throughput best-ofs.
+
+A record present in the baseline but missing from the fresh run, or vice
+versa, is always an error — a renamed or dropped benchmark must refresh
+the committed JSON in the same change.
+
+Exit status: 0 when every record is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def committed_json(path: Path, ref: str) -> dict | None:
+    """The committed version of ``path`` at ``ref``; None when absent."""
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def relative_drift(fresh: float, baseline: float) -> float:
+    if baseline == 0:
+        return 0.0 if fresh == 0 else float("inf")
+    return fresh / baseline - 1.0
+
+
+def diff_file(path: Path, ref: str, tolerance: float, lat_tolerance: float) -> list:
+    """Return a list of problem strings for one BENCH file."""
+    fresh = json.loads(path.read_text())
+    baseline = committed_json(path, ref)
+    if baseline is None:
+        print(f"{path.name}: not in {ref} (new benchmark file), skipping")
+        return []
+    problems = []
+    for record in sorted(set(fresh) | set(baseline)):
+        if record not in fresh:
+            problems.append(f"{path.name}:{record}: missing from fresh run")
+            continue
+        if record not in baseline:
+            problems.append(
+                f"{path.name}:{record}: not in committed baseline "
+                f"(commit the refreshed JSON)"
+            )
+            continue
+        for field, bound in (
+            ("ops_per_sec", tolerance),
+            ("p50_us", lat_tolerance),
+            ("p99_us", lat_tolerance),
+        ):
+            new, old = fresh[record].get(field), baseline[record].get(field)
+            if new is None or old is None:
+                if new != old:
+                    problems.append(
+                        f"{path.name}:{record}.{field}: {old!r} -> {new!r}"
+                    )
+                continue
+            drift = relative_drift(new, old)
+            marker = "FAIL" if abs(drift) > bound else "ok"
+            print(
+                f"{path.name}:{record}.{field}: {old:g} -> {new:g} "
+                f"({drift:+.1%}, bound ±{bound:.0%}) {marker}"
+            )
+            if abs(drift) > bound:
+                problems.append(
+                    f"{path.name}:{record}.{field} drifted {drift:+.1%} "
+                    f"(bound ±{bound:.0%}): {old:g} -> {new:g}"
+                )
+    return problems
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="BENCH_*.json files to diff (default: all at the repo root)",
+    )
+    parser.add_argument("--baseline-ref", default="HEAD")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="relative ops_per_sec bound (default 0.20 = ±20%%)",
+    )
+    parser.add_argument(
+        "--latency-tolerance", type=float, default=0.60,
+        help="relative p50/p99 bound (default 0.60 = ±60%%)",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(
+            diff_file(path.resolve(), args.baseline_ref,
+                      args.tolerance, args.latency_tolerance)
+        )
+    if problems:
+        print(f"\n{len(problems)} benchmark drift problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nall benchmark records within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
