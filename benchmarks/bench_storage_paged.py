@@ -1,0 +1,141 @@
+"""Paged storage at 1M rows: O(log n) lookups vs the seed's O(n) scan path.
+
+ROADMAP item 2's gate: the paged B+-tree behind the frame pool must make
+point lookups at least ``MIN_SPEEDUP``× faster than the scan path the seed
+tree offered (a linear walk of the leaf chain — what every range lookup
+cost before pages learned to split by byte budget and index descent went
+through the pool).
+
+Four records land in ``BENCH_storage.json``:
+
+* ``paged_bulk_load_1m`` — sorted bottom-up load throughput (rows/s).
+* ``paged_point_lookup_1m`` — random ``engine.get`` through the clustered
+  index at 1M rows, with per-op latency percentiles.
+* ``paged_range_scan_100`` — 100-row range scans through the pool.
+* ``seed_scan_lookup_1m`` — the seed path: point lookup implemented as a
+  linear scan over the in-memory tree at the same row count.
+
+The ±20% ``tools/bench_diff.py`` gate keeps these honest across commits.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from repro.engine import StorageEngine
+
+N_ROWS = 1_000_000
+N_POINT_LOOKUPS = 2_000
+N_RANGE_SCANS = 200
+RANGE_SPAN = 100
+N_SCAN_LOOKUPS = 3
+PAYLOAD = b"r" * 40
+MIN_SPEEDUP = 10.0
+
+
+def _build_paged() -> StorageEngine:
+    engine = StorageEngine(storage="paged", mvcc=False)
+    engine.register_table("t")
+    return engine
+
+
+def _build_seed(rows: int) -> StorageEngine:
+    """The pre-paged configuration: dict-backed tablespace, memory tree."""
+    engine = StorageEngine(storage="memory", mvcc=False)
+    engine.register_table("t")
+    for base in range(0, rows, 50_000):
+        txn = engine.begin()
+        for key in range(base, min(base + 50_000, rows)):
+            engine.insert(txn, "t", key, PAYLOAD)
+        engine.commit(txn)
+    return engine
+
+
+def _scan_lookup(engine: StorageEngine, key: int) -> bytes:
+    """Point lookup the way the seed's scan path did it: walk everything."""
+    for candidate, value in engine.scan("t"):
+        if candidate == key:
+            return value
+    raise AssertionError(f"key {key} not found by scan")
+
+
+def test_storage_paged_1m(bench_json, report):
+    rng = random.Random(17)
+
+    paged = _build_paged()
+    start = time.perf_counter()
+    loaded = paged.bulk_load("t", ((k, PAYLOAD) for k in range(N_ROWS)))
+    load_elapsed = time.perf_counter() - start
+    assert loaded == N_ROWS
+
+    point_latencies: List[float] = []
+    for _ in range(N_POINT_LOOKUPS):
+        key = rng.randrange(N_ROWS)
+        start = time.perf_counter()
+        value, _ = paged.get("t", key)
+        point_latencies.append(time.perf_counter() - start)
+        assert value == PAYLOAD
+    point_ops = N_POINT_LOOKUPS / sum(point_latencies)
+
+    range_latencies: List[float] = []
+    for _ in range(N_RANGE_SCANS):
+        low = rng.randrange(N_ROWS - RANGE_SPAN)
+        start = time.perf_counter()
+        entries, _ = paged.range("t", low, low + RANGE_SPAN - 1)
+        range_latencies.append(time.perf_counter() - start)
+        assert len(entries) == RANGE_SPAN
+    range_ops = N_RANGE_SCANS / sum(range_latencies)
+    paged.close()
+
+    seed = _build_seed(N_ROWS)
+    scan_latencies: List[float] = []
+    for _ in range(N_SCAN_LOOKUPS):
+        key = rng.randrange(N_ROWS)
+        start = time.perf_counter()
+        value = _scan_lookup(seed, key)
+        scan_latencies.append(time.perf_counter() - start)
+        assert value == PAYLOAD
+    scan_ops = N_SCAN_LOOKUPS / sum(scan_latencies)
+
+    speedup = point_ops / scan_ops
+    assert speedup >= MIN_SPEEDUP, (
+        f"paged point lookup only {speedup:.1f}x the seed scan path "
+        f"({point_ops:.0f} vs {scan_ops:.2f} ops/s); gate is {MIN_SPEEDUP}x"
+    )
+
+    bench_json(
+        "storage",
+        "paged_bulk_load_1m",
+        ops_per_sec=N_ROWS / load_elapsed,
+    )
+    bench_json(
+        "storage",
+        "paged_point_lookup_1m",
+        ops_per_sec=point_ops,
+        latencies=point_latencies,
+    )
+    bench_json(
+        "storage",
+        "paged_range_scan_100",
+        ops_per_sec=range_ops,
+        latencies=range_latencies,
+    )
+    bench_json(
+        "storage",
+        "seed_scan_lookup_1m",
+        ops_per_sec=scan_ops,
+        latencies=scan_latencies,
+    )
+    report(
+        "storage_paged_1m",
+        [
+            f"rows loaded               {N_ROWS} in {load_elapsed:.1f}s "
+            f"({N_ROWS / load_elapsed:,.0f} rows/s)",
+            f"paged point lookup        {point_ops:,.0f} ops/s",
+            f"paged 100-row range scan  {range_ops:,.0f} ops/s",
+            f"seed scan-path lookup     {scan_ops:.2f} ops/s",
+            f"speedup (gate >= {MIN_SPEEDUP:.0f}x)    {speedup:,.0f}x",
+        ],
+    )

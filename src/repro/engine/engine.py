@@ -9,13 +9,18 @@ parsed SQL; everything here works in terms of ``(table, key, row bytes)``.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..clock import SimClock
 from ..errors import ConcurrentTransactionError, EngineError, TransactionError
 from ..obs.instrumentation import NO_OP_INSTRUMENTATION, Instrumentation
 from ..storage import BTree, BufferPool, Tablespace
 from ..storage.btree import AccessPath
+from ..storage.paged import BufferPoolManager, PagedTable, PageFile
 from .binlog import Binlog
 from .lsn import LsnCounter
 from .mvcc import MVCCManager
@@ -64,6 +69,19 @@ class StorageEngine:
         Offset added to tablespace ids; sharded deployments give each
         shard a disjoint space-id range so combined buffer-pool dumps stay
         unambiguous (and leak which shard served each page).
+    storage:
+        ``"memory"`` (the seed's dict-backed tablespaces, the default) or
+        ``"paged"`` — single-file 4 KB-page tablespaces behind the
+        frame-based :class:`~repro.storage.paged.BufferPoolManager`
+        (:mod:`repro.storage.paged`). Both modes expose the same
+        operation surface; the paged mode adds secondary indexes,
+        checkpoints, bulk loading, and real on-disk artifacts.
+    data_dir:
+        Paged mode only: directory holding the ``<table>.ibd`` files. When
+        ``None`` a private temporary directory is created and removed when
+        the engine is garbage-collected (or :meth:`close`\\ d).
+    buffer_pool_policy:
+        Paged mode only: frame eviction policy, ``"lru"`` or ``"clock"``.
     """
 
     def __init__(
@@ -77,16 +95,44 @@ class StorageEngine:
         instrumentation: Optional[Instrumentation] = None,
         mvcc: bool = True,
         space_id_base: int = 0,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
+        buffer_pool_policy: str = "lru",
     ) -> None:
+        if storage not in ("memory", "paged"):
+            raise EngineError(
+                f"unknown storage mode {storage!r} (expected 'memory' or 'paged')"
+            )
         self.clock = clock or SimClock()
         self.obs = instrumentation or NO_OP_INSTRUMENTATION
         self.lsn = LsnCounter()
         self.redo_log = RedoLog(redo_capacity, self.lsn, instrumentation=self.obs)
         self.undo_log = UndoLog(undo_capacity, self.lsn, instrumentation=self.obs)
         self.binlog = Binlog(enabled=binlog_enabled)
-        self.buffer_pool = BufferPool(buffer_pool_capacity, instrumentation=self.obs)
+        self.storage_mode = storage
+        self._data_dir: Optional[str] = None
+        self._dir_finalizer = None
+        if storage == "paged":
+            if data_dir is None:
+                data_dir = tempfile.mkdtemp(prefix="repro-paged-")
+                self._dir_finalizer = weakref.finalize(
+                    self, shutil.rmtree, data_dir, True
+                )
+            else:
+                os.makedirs(data_dir, exist_ok=True)
+            self._data_dir = data_dir
+            self.buffer_pool = BufferPoolManager(
+                buffer_pool_capacity,
+                policy=buffer_pool_policy,
+                lsn_source=lambda: self.lsn.current,
+                instrumentation=self.obs,
+            )
+        else:
+            self.buffer_pool = BufferPool(
+                buffer_pool_capacity, instrumentation=self.obs
+            )
         self._btree_fanout = btree_fanout
-        self._tables: Dict[str, Tuple[Tablespace, BTree]] = {}
+        self._tables: Dict[str, Tuple] = {}
         self._next_space_id = space_id_base + 1
         self._next_txn_id = 1
         self.mvcc: Optional[MVCCManager] = MVCCManager() if mvcc else None
@@ -96,9 +142,21 @@ class StorageEngine:
     # -- table management ----------------------------------------------------
 
     def register_table(self, name: str) -> None:
-        """Create the tablespace and clustered index for ``name``."""
+        """Create the tablespace and clustered index for ``name``.
+
+        In paged mode the tablespace is one ``<name>.ibd`` file under
+        ``data_dir``; an existing file is reopened (its header carries the
+        index roots), which is how a restarted engine finds its data.
+        """
         if name in self._tables:
             raise EngineError(f"table {name!r} already registered")
+        if self.storage_mode == "paged":
+            path = os.path.join(self._data_dir, f"{name}.ibd")
+            page_file = PageFile(path, name, space_id=self._next_space_id)
+            self._next_space_id = max(self._next_space_id, page_file.space_id) + 1
+            table = PagedTable(self.buffer_pool, page_file)
+            self._tables[name] = (page_file, table)
+            return
         space = Tablespace(self._next_space_id, name)
         self._next_space_id += 1
         tree = BTree(space, max_entries=self._btree_fanout, on_touch=self.buffer_pool.touch)
@@ -111,13 +169,17 @@ class StorageEngine:
     def table_names(self) -> List[str]:
         return sorted(self._tables)
 
-    def tablespace(self, name: str) -> Tablespace:
+    def tablespace(self, name: str):
+        """The table's :class:`Tablespace` (memory) or :class:`PageFile`
+        (paged); both expose ``space_id``/``name``/``to_bytes()``."""
         return self._lookup(name)[0]
 
-    def btree(self, name: str) -> BTree:
+    def btree(self, name: str):
+        """The table's :class:`BTree` (memory) or :class:`PagedTable`
+        (paged); both expose the same operation surface."""
         return self._lookup(name)[1]
 
-    def _lookup(self, name: str) -> Tuple[Tablespace, BTree]:
+    def _lookup(self, name: str) -> Tuple:
         try:
             return self._tables[name]
         except KeyError:
@@ -332,6 +394,82 @@ class StorageEngine:
             out.extend(extras)
             out.sort(key=lambda kv: kv[0])
         return out
+
+    # -- paged-storage extras --------------------------------------------------
+
+    def _paged_table(self, name: str) -> PagedTable:
+        if self.storage_mode != "paged":
+            raise EngineError(
+                "operation requires storage='paged' "
+                f"(engine is running storage={self.storage_mode!r})"
+            )
+        return self._lookup(name)[1]
+
+    def checkpoint(self) -> int:
+        """Flush dirty frames and stamp tablespace headers (paged mode).
+
+        In memory mode this is a no-op returning the current LSN — the
+        dict-backed tablespaces are always "durable".
+        """
+        if self.storage_mode != "paged":
+            return self.lsn.current
+        return self.buffer_pool.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and close every page file; remove a private tempdir."""
+        if self.storage_mode == "paged":
+            self.buffer_pool.checkpoint()
+            for page_file, _ in self._tables.values():
+                page_file.close()
+        if self._dir_finalizer is not None:
+            self._dir_finalizer()
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        return self._data_dir
+
+    def bulk_load(self, table: str, items: Iterable[Tuple[int, bytes]]) -> int:
+        """Sorted bottom-up load into an empty paged table.
+
+        A loader fast path, not a transaction: redo/undo/binlog/MVCC are
+        deliberately bypassed (as in a real engine's sorted index build),
+        so the logs carry no trace of the loaded rows. Returns the row
+        count loaded.
+        """
+        with self.obs.span("storage.bulk_load", table=table):
+            return self._paged_table(table).bulk_load(items)
+
+    def register_secondary_index(
+        self,
+        table: str,
+        index_name: str,
+        extractor: Callable[[bytes], Optional[int]],
+    ) -> None:
+        """Create (or reattach) a secondary index on a paged table."""
+        self._paged_table(table).create_secondary_index(index_name, extractor)
+
+    def secondary_lookup(
+        self, table: str, index_name: str, value: int
+    ) -> Tuple[List[int], AccessPath]:
+        """Primary keys matching ``value`` via a secondary index (paged)."""
+        return self._paged_table(table).secondary_lookup(index_name, value)
+
+    def free_list_info(self) -> Dict[str, List[int]]:
+        """Freed-page chains per table (paged mode; empty otherwise)."""
+        if self.storage_mode != "paged":
+            return {}
+        return {
+            name: self._tables[name][0].free_list() for name in self.table_names
+        }
+
+    def checkpoint_lsns(self) -> Dict[str, int]:
+        """Per-table header checkpoint LSNs (paged mode; empty otherwise)."""
+        if self.storage_mode != "paged":
+            return {}
+        return {
+            name: self._tables[name][0].checkpoint_lsn
+            for name in self.table_names
+        }
 
     # -- introspection / artifacts --------------------------------------------
 

@@ -40,10 +40,19 @@ def run_buffer_pool_paths(
     recent_window: int = 5,
     btree_fanout: int = 8,
     seed: int = 0,
+    storage: str = "memory",
+    data_dir: str = None,
 ) -> BufferPoolResult:
-    """Issue point SELECTs, dump the pool, and score path recovery."""
+    """Issue point SELECTs, dump the pool, and score path recovery.
+
+    ``storage="paged"`` runs the same workload against the on-disk paged
+    engine (``data_dir`` optionally pins the tablespace directory); the
+    dump then reflects the frame-based pool's actual resident pages.
+    """
     rng = random.Random(seed)
-    server = MySQLServer(ServerConfig(btree_fanout=btree_fanout))
+    server = MySQLServer(
+        ServerConfig(btree_fanout=btree_fanout, storage=storage, data_dir=data_dir)
+    )
     session = server.connect("reader")
     server.execute(session, "CREATE TABLE items (id INT PRIMARY KEY, v INT)")
     for start in range(0, table_rows, 100):

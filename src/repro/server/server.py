@@ -100,6 +100,13 @@ class ServerConfig:
     #: MVCC on the engine(s); off restores the single-client engine, which
     #: now fails loudly (ConcurrentTransactionError) on interleaving.
     mvcc_enabled: bool = True
+    #: Storage backend: "memory" (seed dict-backed tablespaces) or "paged"
+    #: (single-file 4 KB-page tablespaces behind the frame-based pool).
+    storage: str = "memory"
+    #: Paged mode: directory for the .ibd files (None = private tempdir).
+    data_dir: Optional[str] = None
+    #: Paged mode: frame eviction policy, "lru" or "clock".
+    buffer_pool_policy: str = "lru"
 
 
 @dataclass(frozen=True)
@@ -150,6 +157,9 @@ class MySQLServer:
                 btree_fanout=self.config.btree_fanout,
                 instrumentation=self.obs,
                 mvcc=self.config.mvcc_enabled,
+                storage=self.config.storage,
+                data_dir=self.config.data_dir,
+                buffer_pool_policy=self.config.buffer_pool_policy,
             )
         else:
             self.engine = StorageEngine(
@@ -161,6 +171,9 @@ class MySQLServer:
                 btree_fanout=self.config.btree_fanout,
                 instrumentation=self.obs,
                 mvcc=self.config.mvcc_enabled,
+                storage=self.config.storage,
+                data_dir=self.config.data_dir,
+                buffer_pool_policy=self.config.buffer_pool_policy,
             )
         self.catalog = Catalog()
         self.general_log = GeneralQueryLog(enabled=self.config.general_log_enabled)
@@ -747,7 +760,41 @@ class MySQLServer:
             duration=0.0,
         )
 
+    # -- secondary indexes (paged storage) ---------------------------------------------
+
+    def create_secondary_index(self, table: str, column: str) -> str:
+        """Index an INT column of a paged table; returns the index name.
+
+        The extractor decodes the stored row and pulls the column value —
+        non-integer or NULL values are simply not indexed (posting lists
+        cover integer-keyed values only, like our B+-tree keys).
+        """
+        schema = self.catalog.table(table)
+        idx = schema.column_index(column)
+
+        def extractor(payload: bytes) -> Optional[int]:
+            row, _ = decode_row(payload)
+            value = row[idx]
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+            return None
+
+        index_name = f"idx_{table}_{column}"
+        self.engine.register_secondary_index(table, index_name, extractor)
+        return index_name
+
+    def secondary_lookup(self, table: str, column: str, value: int) -> List[int]:
+        """Primary keys where ``column = value``, via the secondary index."""
+        pks, _ = self.engine.secondary_lookup(table, f"idx_{table}_{column}", value)
+        return pks
+
     # -- maintenance -----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release storage resources (paged mode: checkpoint + close files)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     def dump_buffer_pool(self) -> BufferPoolDump:
         """Write the ``ib_buffer_pool`` dump file (shutdown / periodic)."""

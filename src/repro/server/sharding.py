@@ -23,9 +23,10 @@ per-shard surfaces in shard order.
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..clock import SimClock
 from ..engine import StorageEngine
@@ -268,6 +269,9 @@ class ShardedEngine:
         btree_fanout: int = 64,
         instrumentation: Optional[Instrumentation] = None,
         mvcc: bool = True,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
+        buffer_pool_policy: str = "lru",
     ) -> None:
         if num_shards < 2:
             raise EngineError(
@@ -283,15 +287,30 @@ class ShardedEngine:
             btree_fanout=btree_fanout,
             instrumentation=instrumentation,
             mvcc=mvcc,
+            storage=storage,
+            buffer_pool_policy=buffer_pool_policy,
         )
         if redo_capacity is not None:
             kwargs["redo_capacity"] = redo_capacity
         if undo_capacity is not None:
             kwargs["undo_capacity"] = undo_capacity
+        # Paged mode with an explicit data_dir: each shard gets its own
+        # shard<i>/ subdirectory so page files never collide. With no
+        # data_dir every shard creates (and later removes) a private
+        # tempdir of its own.
         self._shards: List[StorageEngine] = [
-            StorageEngine(space_id_base=i * SPACE_ID_STRIDE, **kwargs)
+            StorageEngine(
+                space_id_base=i * SPACE_ID_STRIDE,
+                data_dir=(
+                    os.path.join(data_dir, f"shard{i}")
+                    if data_dir is not None
+                    else None
+                ),
+                **kwargs,
+            )
             for i in range(num_shards)
         ]
+        self.storage_mode = storage
         self._mvcc_enabled = mvcc
         self._next_txn_id = 1
         self._active_txn_ids: set = set()
@@ -455,6 +474,57 @@ class ShardedEngine:
             path.page_ids.extend(shard_path.page_ids)
         entries.sort(key=lambda kv: kv[0])
         return entries, path
+
+    # -- paged-storage extras -------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Checkpoint every shard; returns the max shard checkpoint LSN."""
+        return max(shard.checkpoint() for shard in self._shards)
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+    def register_secondary_index(
+        self,
+        table: str,
+        index_name: str,
+        extractor: Callable[[bytes], Optional[int]],
+    ) -> None:
+        """Create the secondary index on every shard (rows are hashed)."""
+        for shard in self._shards:
+            shard.register_secondary_index(table, index_name, extractor)
+
+    def secondary_lookup(
+        self, table: str, index_name: str, value: int
+    ) -> Tuple[List[int], AccessPath]:
+        """Union of per-shard postings, sorted by primary key."""
+        pks: List[int] = []
+        path = AccessPath()
+        for shard in self._shards:
+            shard_pks, shard_path = shard.secondary_lookup(
+                table, index_name, value
+            )
+            pks.extend(shard_pks)
+            path.page_ids.extend(shard_path.page_ids)
+        pks.sort()
+        return pks, path
+
+    def free_list_info(self) -> Dict[str, List[int]]:
+        """Shard-qualified freed-page chains: ``table@shardN``."""
+        info: Dict[str, List[int]] = {}
+        for idx, shard in enumerate(self._shards):
+            for name, chain in shard.free_list_info().items():
+                info[f"{name}@shard{idx}"] = chain
+        return info
+
+    def checkpoint_lsns(self) -> Dict[str, int]:
+        """Shard-qualified header checkpoint LSNs: ``table@shardN``."""
+        lsns: Dict[str, int] = {}
+        for idx, shard in enumerate(self._shards):
+            for name, lsn in shard.checkpoint_lsns().items():
+                lsns[f"{name}@shard{idx}"] = lsn
+        return lsns
 
     # -- introspection / artifacts --------------------------------------------
 

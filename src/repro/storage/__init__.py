@@ -7,6 +7,10 @@ indexed by a page-oriented B+ tree (:mod:`.btree`), and cached by an LRU
 buffer pool that can dump its page list to disk exactly like MySQL's
 ``ib_buffer_pool`` file (:mod:`.buffer_pool`) — the Section 3 read-inference
 artifact.
+
+The :mod:`.paged` subpackage is the *on-disk* counterpart: single-file 4 KB
+page tablespaces behind a frame-based buffer pool with real eviction and
+write-back, selected by ``StorageEngine(storage="paged")``.
 """
 
 from .record import Row, decode_row, encode_row
@@ -14,8 +18,20 @@ from .page import Page, PageType, PAGE_SIZE
 from .tablespace import Tablespace
 from .btree import BTree, AccessPath
 from .buffer_pool import BufferPool, BufferPoolDump, PageRef
+from .paged import (
+    PAGED_PAGE_SIZE,
+    BufferPoolManager,
+    PagedBTree,
+    PagedTable,
+    PageFile,
+)
 
 __all__ = [
+    "PAGED_PAGE_SIZE",
+    "BufferPoolManager",
+    "PagedBTree",
+    "PagedTable",
+    "PageFile",
     "Row",
     "encode_row",
     "decode_row",

@@ -30,6 +30,25 @@ def _capture_live_buffer_pool(server: MySQLServer) -> BufferPoolDump:
     return server.engine.buffer_pool.dump()
 
 
+def _paged_storage(server: MySQLServer) -> bool:
+    return getattr(server.engine, "storage_mode", "memory") == "paged"
+
+
+def _capture_tablespace_files(server: MySQLServer) -> Dict[str, bytes]:
+    # Paged mode only: the literal .ibd file bytes — header page, index
+    # pages, and freed-page residue included. (In memory mode the closest
+    # analogue is the serialized `tablespace_images` artifact.)
+    return server.engine.tablespace_images()
+
+
+def _capture_page_free_list(server: MySQLServer) -> Dict[str, list]:
+    return server.engine.free_list_info()
+
+
+def _capture_checkpoint_lsn(server: MySQLServer) -> Dict[str, int]:
+    return server.engine.checkpoint_lsns()
+
+
 def providers() -> Tuple[ArtifactProvider, ...]:
     """The storage layer's registered leakage surfaces."""
     return (
@@ -49,6 +68,37 @@ def providers() -> Tuple[ArtifactProvider, ...]:
             capture=_capture_tablespace_images,
             spec_sinks=("tablespace",),
             forensic_reader="repro.attacks",
+        ),
+        ArtifactProvider(
+            name="tablespace_file",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_tablespace_files,
+            spec_sinks=("tablespace",),
+            enabled=_paged_storage,
+            forensic_reader="repro.attacks",
+        ),
+        ArtifactProvider(
+            name="page_free_list",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_page_free_list,
+            enabled=_paged_storage,
+            forensic_reader="repro.attacks",
+        ),
+        ArtifactProvider(
+            name="checkpoint_lsn",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_checkpoint_lsn,
+            enabled=_paged_storage,
+            # The per-table checkpoint LSN anchors the E3-style
+            # LSN<->timestamp correlation: it dates the last flush even
+            # after the statements that produced it aged out of the logs.
+            forensic_reader="repro.forensics.binlog_reader.fit_lsn_timestamp_model",
         ),
         ArtifactProvider(
             name="live_buffer_pool",

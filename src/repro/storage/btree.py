@@ -10,9 +10,11 @@ cares about:
   that disk-theft forensics parses.
 
 Internal entries are ``(separator_key, child_page_id)`` rows; leaf entries
-are ``(key, payload_bytes)`` rows. Deletion removes entries without
-rebalancing (InnoDB also merges lazily); empty leaves are kept until a merge,
-which is faithful enough for every experiment here.
+are ``(key, payload_bytes)`` rows. Deletion never rebalances partially
+filled nodes (InnoDB also merges lazily), but a leaf emptied by a delete is
+unlinked from its parent and freed — cascading through internals that empty
+out, and collapsing a single-child root — so dead pages do not linger on
+scan paths or in page counts.
 """
 
 from __future__ import annotations
@@ -210,9 +212,15 @@ class BTree:
         raise StorageError(f"update of missing key {key}")
 
     def delete(self, key: int) -> Tuple[bytes, AccessPath]:
-        """Remove ``key``; returns ``(old payload, path)``."""
+        """Remove ``key``; returns ``(old payload, path)``.
+
+        A leaf emptied by the delete is unlinked from its parent and freed
+        (see :meth:`_unlink_empty`); the root page is never freed, so an
+        empty tree degenerates back to a single empty leaf.
+        """
         path = AccessPath()
-        leaf = self._descend(key, path)
+        stack = self._descend_with_stack(key, path)
+        leaf = stack[-1]
         entries = self._leaf_entries(leaf)
         for slot, (entry_key, old_payload) in enumerate(entries):
             if entry_key == key:
@@ -220,6 +228,8 @@ class BTree:
                 entries.pop(slot)
                 self._decoded[leaf.page_id] = (leaf.version, entries)
                 self._size -= 1
+                if not entries and len(stack) > 1:
+                    self._unlink_empty(stack)
                 return old_payload, path
         raise StorageError(f"delete of missing key {key}")
 
@@ -344,6 +354,82 @@ class BTree:
                 self._root_id = new_root.page_id
                 return
 
+    def _unlink_empty(self, stack: List[Page]) -> None:
+        """Free the emptied node at the top of ``stack``.
+
+        Removes its entry from the parent (the surviving first child, if the
+        removed slot was 0, inherits the ``-inf`` separator so internal
+        entries stay sorted), cascades while ancestors empty out, and finally
+        collapses a root left with a single child. Internal roots always hold
+        at least two entries between operations, so the root itself can never
+        empty here.
+        """
+        dead = stack.pop()
+        while stack:
+            parent = stack.pop()
+            records = parent.records
+            remove_at = None
+            for idx, record in enumerate(records):
+                _, child_id = _decode_internal_entry(record)
+                if child_id == dead.page_id:
+                    remove_at = idx
+                    break
+            self._space.free(dead.page_id)
+            self._decoded.pop(dead.page_id, None)
+            if remove_at is None:
+                raise StorageError(
+                    f"page {dead.page_id} missing from parent {parent.page_id}"
+                )
+            records.pop(remove_at)
+            if remove_at == 0 and records:
+                _, first_child = _decode_internal_entry(records[0])
+                records[0] = _internal_entry(_NEG_INF, first_child)
+                self._rewrite(parent, records)
+                self._fix_leftmost_spine(first_child)
+            else:
+                self._rewrite(parent, records)
+            if parent.num_records:
+                break
+            dead = parent
+        self._collapse_root()
+
+    def _collapse_root(self) -> None:
+        """While the root is an internal page with one child, promote the
+        child and free the old root."""
+        page = self._page(self._root_id, record_touch=False)
+        while page.page_type is PageType.INDEX_INTERNAL and page.num_records == 1:
+            child_id = self._internal_entries(page)[0][1]
+            self._space.free(page.page_id)
+            self._decoded.pop(page.page_id, None)
+            self._root_id = child_id
+            page = self._page(child_id, record_touch=False)
+        self._fix_leftmost_spine(self._root_id)
+
+    def _fix_leftmost_spine(self, page_id: int) -> None:
+        """Restore the leftmost-spine invariant below ``page_id``.
+
+        Every internal node on the leftmost spine of the tree must carry the
+        ``-inf`` separator in slot 0 (descent routes keys smaller than the
+        first real separator into the first child). A node that *becomes*
+        leftmost — promoted to root, or made the first child after its left
+        sibling was unlinked — may still carry a real slot-0 separator from
+        when it was split off; without this rewrite, keys below that
+        separator route into its first subtree and later splits emit
+        out-of-order parent separators. Stops early once it finds ``-inf``:
+        by induction everything below is already leftmost-clean.
+        """
+        while True:
+            page = self._page(page_id, record_touch=False)
+            if page.page_type is not PageType.INDEX_INTERNAL:
+                return
+            records = page.records
+            sep, first_child = _decode_internal_entry(records[0])
+            if sep == _NEG_INF:
+                return
+            records[0] = _internal_entry(_NEG_INF, first_child)
+            self._rewrite(page, records)
+            page_id = first_child
+
     def min_key(self) -> Optional[int]:
         """Smallest live key (``None`` when empty); maintenance path, no
         buffer-pool touches."""
@@ -354,9 +440,8 @@ class BTree:
         entries = self._leaf_entries(page)
         if entries:
             return entries[0][0]
-        # Leftmost leaf may be empty after deletes; fall back to a scan.
-        for key, _ in self.scan():
-            return key
+        # Only an empty root leaf has no entries (emptied non-root leaves
+        # are unlinked), so the tree is empty here.
         return None
 
     @staticmethod

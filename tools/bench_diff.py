@@ -7,9 +7,12 @@ this tool: every record's ``ops_per_sec`` must stay within ``--tolerance``
 (``--latency-tolerance``, default ±60%) because p99 under a shared CI
 container is far noisier than throughput best-ofs.
 
-A record present in the baseline but missing from the fresh run, or vice
-versa, is always an error — a renamed or dropped benchmark must refresh
-the committed JSON in the same change.
+A record present in the baseline but missing from the fresh run is an
+error — a renamed or dropped benchmark must refresh the committed JSON in
+the same change. The reverse (a record in the fresh run with no baseline
+yet) is a *new* benchmark: it passes with a notice, since the very change
+that introduces a benchmark record cannot also have it in the committed
+baseline it is diffed against.
 
 Exit status: 0 when every record is within tolerance, 1 otherwise.
 """
@@ -56,9 +59,9 @@ def diff_file(path: Path, ref: str, tolerance: float, lat_tolerance: float) -> l
             problems.append(f"{path.name}:{record}: missing from fresh run")
             continue
         if record not in baseline:
-            problems.append(
-                f"{path.name}:{record}: not in committed baseline "
-                f"(commit the refreshed JSON)"
+            print(
+                f"{path.name}:{record}: new record (no baseline at {ref}), "
+                f"passing with notice"
             )
             continue
         for field, bound in (
