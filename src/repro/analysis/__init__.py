@@ -14,7 +14,14 @@ passes over the result:
   deterministic encryption outside declared DET paths (``crypto-*``,
   enabled by a spec ``crypto_policy`` section),
 - unguarded shared-state writes on server/executor paths
-  (``shared-state-unguarded``, enabled by a spec ``concurrency`` section).
+  (``shared-state-unguarded``, enabled by a spec ``concurrency`` section),
+- resource-protocol (typestate) violations over an exception-aware CFG —
+  pin/unpin leaks on any path, dirty frames released clean, engine
+  mutation outside a live transaction, undeclared residue-sensitive frees
+  (``protocol-*``, enabled by a spec ``resource_protocols`` section),
+- Eraser-style lockset races: shared containers whose may-happen-in-
+  parallel accesses hold no common lock (``lockset-race``, enabled by
+  ``concurrency.lockset``; subsumes the lexical shared-state rule).
 
 Runs are incremental when a cache directory is supplied (see
 :mod:`.driver` and :mod:`.cache`), and findings carry stable fingerprints
@@ -27,7 +34,9 @@ Entry points: :func:`run_analysis` (library) and ``repro-lint`` /
 
 from __future__ import annotations
 
+from .cfg import CFG, build_cfg
 from .driver import ANALYZER_VERSION, run_analysis
+from .facts import FunctionFacts, extract_all_facts, facts_needed
 from .fingerprint import (
     apply_baseline,
     attach_fingerprints,
@@ -59,8 +68,10 @@ __version__ = ANALYZER_VERSION
 __all__ = [
     "ANALYZER_VERSION",
     "AnalysisReport",
+    "CFG",
     "Contribution",
     "Flow",
+    "FunctionFacts",
     "LeakageSpec",
     "LintPass",
     "PackageIndex",
@@ -74,8 +85,11 @@ __all__ = [
     "__version__",
     "apply_baseline",
     "attach_fingerprints",
+    "build_cfg",
     "build_report",
     "default_registry",
+    "extract_all_facts",
+    "facts_needed",
     "key_hygiene_lint",
     "load_baseline",
     "load_spec",

@@ -28,8 +28,9 @@ from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
 #: Bump on any change to the analyzer's semantics or cache layout: a stale
-#: cache from an older analyzer must never satisfy a newer run.
-CACHE_VERSION = 1
+#: cache from an older analyzer must never satisfy a newer run. v2 adds
+#: per-function protocol/lockset facts next to each module's Contributions.
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIRNAME = ".repro-lint-cache"
 

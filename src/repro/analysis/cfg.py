@@ -1,0 +1,247 @@
+"""Statement-level control-flow graphs with exception edges.
+
+The protocol pass (:mod:`repro.analysis.facts`) needs to prove that a
+resource acquired on one statement is released on *every* path out of the
+function — including the paths an exception takes. This module builds the
+minimal CFG that makes that provable with a dataflow pass:
+
+* one node per **statement** (compound statements contribute a node for
+  their header — the ``if``/``while`` test, the ``for`` iterable, the
+  ``with`` context expressions — plus nodes for the nested bodies);
+* three pseudo-nodes: ``ENTRY``, ``EXIT`` (normal completion) and
+  ``RAISE`` (the function terminating with an uncaught exception);
+* **normal edges** (``succ``) for fall-through, branching and loops;
+* per-node **exception targets** (``exc``): where control lands if the
+  statement raises. Inside a ``try`` these point at the handler header
+  nodes (and, when no handler is a catch-all, onward to the enclosing
+  context); at top level they point at ``RAISE``.
+
+``try/finally`` is modelled by *duplicating* the ``finally`` body: one
+copy sits on the normal path, a second copy receives the exception edges
+and forwards to the enclosing exception targets. The duplication keeps
+normal and exceptional states separate without path-sensitive edges — a
+release inside ``finally`` is therefore seen on both kinds of path.
+
+Deliberate soundness limits (documented in DESIGN §11):
+
+* ``return`` inside ``try/finally`` jumps straight to ``EXIT`` — the
+  ``finally`` body is not replayed on that edge;
+* ``with`` blocks never swallow exceptions (true for locks, false for
+  ``contextlib.suppress``);
+* ``assert`` is not an exception source (asserts guard invariants, not
+  protocol states, and would otherwise tag every function);
+* nested function/class definitions are opaque single statements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CFG", "build_cfg"]
+
+#: Exception names that catch everything relevant to protocol analysis.
+_CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+class CFG:
+    """A per-function control-flow graph (see module docstring)."""
+
+    ENTRY = 0
+    EXIT = 1
+    RAISE = 2
+
+    def __init__(self) -> None:
+        #: node id -> the AST statement it executes (pseudo-nodes absent).
+        self.stmts: Dict[int, ast.AST] = {}
+        #: normal successor edges.
+        self.succ: Dict[int, Set[int]] = {}
+        #: node id -> where an exception raised *in* this node lands.
+        self.exc: Dict[int, Tuple[int, ...]] = {}
+        self._next_id = 3
+        for pseudo in (self.ENTRY, self.EXIT, self.RAISE):
+            self.succ[pseudo] = set()
+
+    def new_node(self, stmt: ast.AST, exc_targets: Tuple[int, ...]) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.stmts[node] = stmt
+        self.succ[node] = set()
+        self.exc[node] = exc_targets
+        return node
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def node_ids(self) -> List[int]:
+        return [self.ENTRY, self.EXIT, self.RAISE, *self.stmts]
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """True when the handler catches every exception we model."""
+    typ = handler.type
+    if typ is None:
+        return True
+    names: List[ast.expr] = list(typ.elts) if isinstance(typ, ast.Tuple) else [typ]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _CATCH_ALL_NAMES:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in _CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (continue target, list collecting break node ids) per open loop.
+        self.loops: List[Tuple[int, List[int]]] = []
+
+    # ``preds`` are nodes whose normal successor is the block's first
+    # statement. Returns (entry node or None for an empty block, frontier:
+    # the nodes that fall through past the block's end).
+    def block(
+        self,
+        stmts: List[ast.stmt],
+        preds: Set[int],
+        exc_targets: Tuple[int, ...],
+    ) -> Tuple[Optional[int], Set[int]]:
+        entry: Optional[int] = None
+        frontier = set(preds)
+        for stmt in stmts:
+            node_entry, frontier = self.statement(stmt, frontier, exc_targets)
+            if entry is None:
+                entry = node_entry
+        return entry, frontier
+
+    def statement(
+        self,
+        stmt: ast.stmt,
+        preds: Set[int],
+        exc_targets: Tuple[int, ...],
+    ) -> Tuple[int, Set[int]]:
+        cfg = self.cfg
+        node = cfg.new_node(stmt, exc_targets)
+        for pred in preds:
+            cfg.add_edge(pred, node)
+
+        if isinstance(stmt, ast.Return):
+            cfg.add_edge(node, CFG.EXIT)
+            return node, set()
+        if isinstance(stmt, ast.Raise):
+            # No normal successor: the dataflow pushes state along
+            # ``exc`` unconditionally for Raise nodes.
+            return node, set()
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return node, set()
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg.add_edge(node, self.loops[-1][0])
+            return node, set()
+
+        if isinstance(stmt, ast.If):
+            _, body_frontier = self.block(stmt.body, {node}, exc_targets)
+            if stmt.orelse:
+                _, else_frontier = self.block(stmt.orelse, {node}, exc_targets)
+            else:
+                else_frontier = {node}
+            return node, body_frontier | else_frontier
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return node, self._loop(stmt, node, exc_targets)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            _, frontier = self.block(stmt.body, {node}, exc_targets)
+            return node, frontier
+
+        if isinstance(stmt, ast.Try):
+            return node, self._try(stmt, node, exc_targets)
+
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            frontier: Set[int] = {node}
+            for case in stmt.cases:
+                _, case_frontier = self.block(case.body, {node}, exc_targets)
+                frontier |= case_frontier
+            return node, frontier
+
+        # Simple statements — and nested def/class bodies, treated opaque.
+        return node, {node}
+
+    def _loop(
+        self, stmt: ast.stmt, head: int, exc_targets: Tuple[int, ...]
+    ) -> Set[int]:
+        breaks: List[int] = []
+        self.loops.append((head, breaks))
+        _, body_frontier = self.block(stmt.body, {head}, exc_targets)
+        self.loops.pop()
+        for node in body_frontier:
+            self.cfg.add_edge(node, head)
+        # ``while True`` never exits through its test.
+        test = getattr(stmt, "test", None)
+        infinite = isinstance(test, ast.Constant) and bool(test.value)
+        exits: Set[int] = set() if infinite else {head}
+        if stmt.orelse:
+            _, exits = self.block(stmt.orelse, exits, exc_targets)
+        return exits | set(breaks)
+
+    def _try(
+        self, stmt: ast.Try, head: int, exc_targets: Tuple[int, ...]
+    ) -> Set[int]:
+        cfg = self.cfg
+
+        # Exceptional copy of ``finally``: receives exception edges and
+        # forwards to the enclosing targets (including RAISE).
+        final_exc_entry: Optional[int] = None
+        if stmt.finalbody:
+            final_exc_entry, final_exc_frontier = self.block(
+                stmt.finalbody, set(), exc_targets
+            )
+            for node in final_exc_frontier:
+                for target in exc_targets:
+                    cfg.add_edge(node, target)
+        escalate: Tuple[int, ...] = (
+            (final_exc_entry,) if final_exc_entry is not None else exc_targets
+        )
+
+        handler_nodes: List[int] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            handler_nodes.append(cfg.new_node(handler, escalate))
+            catch_all = catch_all or _is_catch_all(handler)
+
+        body_exc: Tuple[int, ...] = tuple(handler_nodes)
+        if not catch_all:
+            body_exc = body_exc + escalate
+
+        _, body_frontier = self.block(stmt.body, {head}, body_exc)
+        # ``else`` runs only on normal body completion; its exceptions are
+        # not caught by this try's handlers.
+        if stmt.orelse:
+            _, normal_frontier = self.block(stmt.orelse, body_frontier, escalate)
+        else:
+            normal_frontier = body_frontier
+
+        all_normal = set(normal_frontier)
+        for handler, handler_node in zip(stmt.handlers, handler_nodes):
+            _, handler_frontier = self.block(
+                handler.body, {handler_node}, escalate
+            )
+            all_normal |= handler_frontier
+
+        if stmt.finalbody:
+            _, final_frontier = self.block(stmt.finalbody, all_normal, exc_targets)
+            return final_frontier
+        return all_normal
+
+
+def build_cfg(fn_node: ast.AST) -> CFG:
+    """CFG for one ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    builder = _Builder()
+    _, frontier = builder.block(
+        list(fn_node.body), {CFG.ENTRY}, (CFG.RAISE,)
+    )
+    for node in frontier:
+        builder.cfg.add_edge(node, CFG.EXIT)
+    return builder.cfg

@@ -97,11 +97,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the --baseline file with the current findings and "
         "exit 0",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the rule's description, spec section, paper experiments "
+        "and an example, then exit (no analysis run)",
+    )
     return parser
+
+
+def _explain_rule(rule_id: str) -> int:
+    """Print reference material for one rule id; exit 0, or 2 if unknown."""
+    from .passes import default_registry
+
+    rules = {meta.id: meta for meta in default_registry().rules()}
+    meta = rules.get(rule_id)
+    if meta is None:
+        print(f"repro-lint: unknown rule: {rule_id}", file=sys.stderr)
+        print(
+            "repro-lint: known rules: " + ", ".join(sorted(rules)),
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{meta.id} ({meta.name})")
+    print(f"  {meta.short_description}")
+    if meta.spec_section:
+        print(f"  spec section: {meta.spec_section}")
+    if meta.experiments:
+        print(f"  paper experiments: {', '.join(meta.experiments)}")
+    if meta.example:
+        print("  example:")
+        for line in meta.example.splitlines():
+            print(f"    {line}")
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.explain:
+        # Rule metadata is static registry state: no spec or tree needed.
+        return _explain_rule(args.explain)
     if args.update_baseline and not args.baseline:
         print(
             "repro-lint: --update-baseline requires --baseline <path>",

@@ -39,6 +39,7 @@ from .cache import (
     file_digest,
     tree_key,
 )
+from .facts import FunctionFacts, extract_all_facts, facts_needed
 from .fingerprint import apply_baseline, attach_fingerprints, load_baseline
 from .modindex import PackageIndex, module_files
 from .passes import PassContext, default_registry, stale_documented_entries
@@ -48,7 +49,9 @@ from .spec import LeakageSpec, load_spec
 from .taint import Contribution, TaintEngine
 
 #: Analyzer semantic version: part of every cache key and of ``--version``.
-ANALYZER_VERSION = "2.0.0"
+#: 3.0.0: typestate (resource-protocol) and lockset passes; per-function
+#: protocol/lockset facts cached next to taint contributions.
+ANALYZER_VERSION = "3.0.0"
 
 
 def _module_dep_closures(
@@ -112,9 +115,15 @@ def _attach_locations(
 
 
 def _run_passes(
-    spec: LeakageSpec, index: PackageIndex, resolver: Resolver, result
+    spec: LeakageSpec,
+    index: PackageIndex,
+    resolver: Resolver,
+    result,
+    facts: Optional[Dict[str, FunctionFacts]] = None,
 ) -> Tuple[List, List[str]]:
-    ctx = PassContext(spec=spec, index=index, resolver=resolver, result=result)
+    ctx = PassContext(
+        spec=spec, index=index, resolver=resolver, result=result, facts=facts
+    )
     violations = default_registry().run_all(ctx)
     stale = stale_documented_entries(spec, result)
     return violations, stale
@@ -158,6 +167,7 @@ def run_analysis(
                 "modules_dirty": 0,
                 "functions_total": report.functions_analyzed,
                 "functions_reanalyzed": 0,
+                "facts_reextracted": 0,
             }
             if baseline is not None:
                 apply_baseline(report.violations, load_baseline(baseline))
@@ -222,7 +232,32 @@ def run_analysis(
         engine = TaintEngine(index, resolver, spec)
         result = engine.run()
 
-    violations, stale = _run_passes(spec, index, resolver, result)
+    facts: Optional[Dict[str, FunctionFacts]] = None
+    facts_reextracted = 0
+    if facts_needed(spec):
+        if mode == "warm-incremental":
+            # Clean modules keep their cached per-function facts: the
+            # summary fixpoint only flows along the import direction, so a
+            # module whose closure key matched cannot see changed facts.
+            seeded: Dict[str, FunctionFacts] = {}
+            for name in clean:
+                seeded.update(cached_modules[name].get("facts", {}))
+            dirty_quals = [
+                qual
+                for qual, fn in index.functions.items()
+                # Missing seeds guard against entries written by an older
+                # run that never extracted facts for this function.
+                if fn.module in dirty or qual not in seeded
+            ]
+            facts, facts_reextracted = extract_all_facts(
+                index, resolver, spec, seeded=seeded, dirty_quals=dirty_quals
+            )
+        else:
+            facts, facts_reextracted = extract_all_facts(
+                index, resolver, spec
+            )
+
+    violations, stale = _run_passes(spec, index, resolver, result, facts)
     _attach_locations(index, root, spec, violations)
     attach_fingerprints(violations)
     report = build_report(
@@ -239,18 +274,24 @@ def run_analysis(
         "modules_dirty": len(dirty) if cached_modules else len(index.modules),
         "functions_total": len(index.functions),
         "functions_reanalyzed": result.functions_processed,
+        "facts_reextracted": facts_reextracted,
     }
 
     if cache is not None:
         cache.store_tree(full_key, report.to_payload())
         by_module: Dict[str, Dict] = {
-            name: {"key": module_keys[name], "functions": {}}
+            name: {"key": module_keys[name], "functions": {}, "facts": {}}
             for name in index.modules
         }
         for qual, contrib in engine.contribs.items():
             fn = index.functions.get(qual)
             if fn is not None:
                 by_module[fn.module]["functions"][qual] = contrib
+        if facts is not None:
+            for qual, fact in facts.items():
+                fn = index.functions.get(qual)
+                if fn is not None:
+                    by_module[fn.module]["facts"][qual] = fact
         cache.store_modules(spec_hash, by_module)
 
     if baseline is not None:

@@ -26,8 +26,10 @@ from .passes.base import Violation
 
 BASELINE_VERSION = 1
 
-#: Rules a baseline may never suppress.
-NEVER_BASELINED = frozenset({"key-hygiene"})
+#: Rules a baseline may never suppress. ``protocol-undeclared-free`` joins
+#: key-hygiene: the spec's ``residue_handlers`` section *is* the allowlist
+#: for free_page callers, and a baseline would be a second escape hatch.
+NEVER_BASELINED = frozenset({"key-hygiene", "protocol-undeclared-free"})
 
 
 def violation_fingerprint(violation: Violation) -> str:

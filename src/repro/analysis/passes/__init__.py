@@ -2,11 +2,12 @@
 
 :func:`default_registry` assembles the shipped passes in their canonical
 order: the three flow-gate passes (undocumented flows, key hygiene, secure
-deletion — PRs 3–4), then the crypto-misuse pass and the shared-state pass
-(both opt-in via spec sections). Downstream consumers — the driver, the
-SARIF emitter's rule table, baseline fingerprints — enumerate passes from
-the registry rather than from hard-coded call sites, so adding a check is
-one :class:`LintPass` entry here.
+deletion — PRs 3–4), the crypto-misuse and shared-state passes (PR 5),
+then the resource-protocol (typestate) and lockset passes (this PR) — all
+opt-in via spec sections. Downstream consumers — the driver, the SARIF
+emitter's rule table, baseline fingerprints, ``--explain`` — enumerate
+passes from the registry rather than from hard-coded call sites, so adding
+a check is one :class:`LintPass` entry here.
 """
 
 from __future__ import annotations
@@ -27,11 +28,15 @@ from .flows import (
     undocumented_flow_lint,
 )
 from .shared_state import SHARED_STATE_PASS, shared_state_lint
+from .protocol import PROTOCOL_PASS, protocol_lint
+from .lockset import LOCKSET_PASS, lockset_lint
 
 __all__ = [
     "CRYPTO_PASS",
     "FLOW_PASSES",
+    "LOCKSET_PASS",
     "LintPass",
+    "PROTOCOL_PASS",
     "PassContext",
     "PassRegistry",
     "RuleMeta",
@@ -40,6 +45,8 @@ __all__ = [
     "crypto_misuse_lint",
     "default_registry",
     "key_hygiene_lint",
+    "lockset_lint",
+    "protocol_lint",
     "secure_deletion_lint",
     "shared_state_lint",
     "stale_documented_entries",
@@ -53,4 +60,6 @@ def default_registry() -> PassRegistry:
         registry.register(lint_pass)
     registry.register(CRYPTO_PASS)
     registry.register(SHARED_STATE_PASS)
+    registry.register(PROTOCOL_PASS)
+    registry.register(LOCKSET_PASS)
     return registry

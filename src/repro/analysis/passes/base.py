@@ -43,11 +43,19 @@ class Violation:
 
 @dataclass(frozen=True)
 class RuleMeta:
-    """SARIF-facing description of one rule id."""
+    """SARIF-facing description of one rule id.
+
+    The three optional fields feed ``repro-lint --explain <rule>``: which
+    spec section configures the rule, which paper experiments motivate it,
+    and a minimal offending example.
+    """
 
     id: str
     name: str
     short_description: str
+    spec_section: str = ""
+    experiments: Tuple[str, ...] = ()
+    example: str = ""
 
 
 @dataclass
@@ -58,6 +66,11 @@ class PassContext:
     index: PackageIndex
     resolver: Resolver
     result: TaintResult
+    #: Per-function protocol/lockset facts (:mod:`repro.analysis.facts`),
+    #: pre-extracted by the driver so they ride the incremental cache.
+    #: ``None`` when no facts-consuming pass is active — passes that need
+    #: them call ``facts.ensure_facts(ctx)`` which extracts on demand.
+    facts: object = None
 
 
 @dataclass(frozen=True)

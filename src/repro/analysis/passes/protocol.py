@@ -1,0 +1,254 @@
+"""Resource-protocol (typestate) pass: pin/unpin, txn lifecycle, residue.
+
+Judges the per-function facts extracted by :mod:`repro.analysis.facts`
+against the spec's ``resource_protocols`` section:
+
+* ``protocol-leak`` — some normal path reaches the function exit with an
+  acquired resource still live (e.g. a branch that skips ``unpin``);
+* ``protocol-exception-leak`` — an exception path leaks the resource: the
+  extractor records the *candidate trigger callees*, and this pass keeps
+  the finding only when at least one candidate may actually raise (a
+  global may-raise fixpoint over the facts call graph);
+* ``protocol-dirty-unpin`` — a frame mutated through a tracked view but
+  released without the dirty flag or a ``mark_dirty`` call: the write is
+  silently lost at eviction;
+* ``protocol-unguarded-mutation`` — a spec-declared guarded mutator (e.g.
+  ``StorageEngine.insert``) invoked with a resource argument that is
+  provably not live (constant, or only ever bound to released txns);
+* ``protocol-undeclared-free`` — a call into a residue-sensitive callable
+  (``free_page`` keeps the page image on the free list — the paper's
+  E4/E6 surface) from a function the spec's ``residue_handlers`` section
+  does not declare. This rule can never be baselined: the spec section
+  *is* the allowlist.
+
+The pass runs only when the spec carries a ``resource_protocols`` section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..facts import FunctionFacts, LeakRecord, ensure_facts
+from .base import LintPass, PassContext, RuleMeta, Violation
+
+_LEAK_RULES = {
+    "normal": "protocol-leak",
+    "caught": "protocol-exception-leak",
+    "uncaught": "protocol-exception-leak",
+}
+
+
+def may_raise_set(facts: Dict[str, FunctionFacts]) -> Set[str]:
+    """Functions that may raise, transitively over resolved call edges.
+
+    Unresolved callees (stdlib) are assumed non-raising — the documented
+    optimistic bias: it under-reports rather than flagging every call.
+    """
+    raising = {qual for qual, fact in facts.items() if fact.raises_locally}
+    callers: Dict[str, Set[str]] = {}
+    for qual, fact in facts.items():
+        for site in fact.call_sites:
+            callers.setdefault(site.callee, set()).add(qual)
+    work = list(raising)
+    while work:
+        callee = work.pop()
+        for caller in callers.get(callee, ()):
+            if caller not in raising:
+                raising.add(caller)
+                work.append(caller)
+    return raising
+
+
+def _leak_violation(
+    fn_qual: str, leak: LeakRecord, may_raise: Set[str]
+) -> Violation:
+    rule = _LEAK_RULES[leak.kind]
+    if leak.kind == "normal":
+        message = (
+            f"{fn_qual} acquires {leak.resource!r} at line "
+            f"{leak.acquire_line} but a normal path reaches the function "
+            "exit without releasing it"
+        )
+        trigger = "always"
+    else:
+        raisers = sorted(set(leak.trigger_callees) & may_raise) or sorted(
+            leak.trigger_callees
+        )
+        where = (
+            "the exception is caught and the handler path exits"
+            if leak.kind == "caught"
+            else "the exception propagates out of the function"
+        )
+        message = (
+            f"{fn_qual} holds {leak.resource!r} (acquired at line "
+            f"{leak.acquire_line}) across a call at line "
+            f"{leak.trigger_line} that may raise "
+            f"({', '.join(raisers)}); {where} without releasing it"
+        )
+        trigger = ",".join(sorted(leak.trigger_callees))
+    return Violation(
+        rule=rule,
+        message=message,
+        function=fn_qual,
+        line=leak.trigger_line or leak.acquire_line,
+        key=f"{leak.resource}|{leak.kind}|{trigger}",
+    )
+
+
+def protocol_lint(ctx: PassContext) -> List[Violation]:
+    policy = ctx.spec.resource_protocols
+    if policy is None:
+        return []
+    facts = ensure_facts(ctx)
+    may_raise = may_raise_set(facts)
+    resources = {r.name: r for r in policy.resources}
+    handlers = policy.handler_quals()
+    violations: List[Violation] = []
+    for fn_qual in sorted(facts):
+        fact = facts[fn_qual]
+        seen_keys: Set[str] = set()
+        for leak in sorted(fact.leaks):
+            resource = resources.get(leak.resource)
+            if resource is None:
+                continue
+            if leak.kind == "uncaught" and not resource.leak_on_uncaught:
+                continue
+            if leak.trigger_callees and not (
+                set(leak.trigger_callees) & may_raise
+            ):
+                continue
+            violation = _leak_violation(fn_qual, leak, may_raise)
+            if violation.key in seen_keys:
+                continue  # same trigger observed as both caught+uncaught etc.
+            seen_keys.add(violation.key)
+            violations.append(violation)
+        for rec in sorted(fact.dirty):
+            violations.append(
+                Violation(
+                    rule="protocol-dirty-unpin",
+                    message=(
+                        f"{fn_qual} mutates {rec.resource!r} (acquired at "
+                        f"line {rec.acquire_line}) but releases it at line "
+                        f"{rec.release_line} without the dirty flag or a "
+                        "mark_dirty call: the write is lost at eviction"
+                    ),
+                    function=fn_qual,
+                    line=rec.release_line,
+                    key=f"{rec.resource}|dirty",
+                )
+            )
+        for rec in sorted(fact.mutators):
+            violations.append(
+                Violation(
+                    rule="protocol-unguarded-mutation",
+                    message=(
+                        f"{fn_qual} calls {rec.callee} at line {rec.line} "
+                        f"with a {rec.resource!r} argument that is not a "
+                        "live (unreleased) resource: engine mutation "
+                        "outside a transaction bypasses MVCC and the logs"
+                    ),
+                    function=fn_qual,
+                    line=rec.line,
+                    key=rec.callee,
+                )
+            )
+        for rec in sorted(fact.free_calls):
+            if fn_qual in handlers:
+                continue
+            violations.append(
+                Violation(
+                    rule="protocol-undeclared-free",
+                    message=(
+                        f"{fn_qual} calls residue-sensitive {rec.callee} at "
+                        f"line {rec.line} without a residue_handlers "
+                        "declaration in the spec: freed pages keep their "
+                        "payload bytes (paper E4/E6) and every caller must "
+                        "be individually justified"
+                    ),
+                    function=fn_qual,
+                    line=rec.line,
+                    key=rec.callee,
+                )
+            )
+    return violations
+
+
+PROTOCOL_PASS = LintPass(
+    name="protocol",
+    rules=(
+        RuleMeta(
+            id="protocol-leak",
+            name="ProtocolLeak",
+            short_description=(
+                "Acquired resource still live on a normal path to the "
+                "function exit"
+            ),
+            spec_section="resource_protocols.resources",
+            experiments=("E4", "E7"),
+            example=(
+                "frame = pool.fetch(page)\n"
+                "if fast_path:\n"
+                "    pool.unpin(frame)   # the other branch leaks the pin"
+            ),
+        ),
+        RuleMeta(
+            id="protocol-exception-leak",
+            name="ProtocolExceptionLeak",
+            short_description=(
+                "Acquired resource leaked on an exception path (caught or "
+                "propagating)"
+            ),
+            spec_section="resource_protocols.resources",
+            experiments=("E4", "E7"),
+            example=(
+                "frame = pool.fetch(page)\n"
+                "row = decode(raw)       # may raise -> frame never unpinned\n"
+                "pool.unpin(frame)"
+            ),
+        ),
+        RuleMeta(
+            id="protocol-dirty-unpin",
+            name="ProtocolDirtyUnpin",
+            short_description=(
+                "Resource mutated through a tracked view but released "
+                "without the dirty flag"
+            ),
+            spec_section="resource_protocols.resources (dirty_param)",
+            experiments=("E2",),
+            example=(
+                "frame.node.entries[slot] = row\n"
+                "pool.unpin(frame)       # dirty=False: write lost at eviction"
+            ),
+        ),
+        RuleMeta(
+            id="protocol-unguarded-mutation",
+            name="ProtocolUnguardedMutation",
+            short_description=(
+                "Guarded mutator called with a resource argument that is "
+                "not live"
+            ),
+            spec_section="resource_protocols.guarded_mutators",
+            experiments=("E7", "E13"),
+            example=(
+                "txn = engine.begin()\n"
+                "engine.commit(txn)\n"
+                "engine.insert(txn, row)  # txn already committed"
+            ),
+        ),
+        RuleMeta(
+            id="protocol-undeclared-free",
+            name="ProtocolUndeclaredFree",
+            short_description=(
+                "Residue-sensitive free call from a function the spec does "
+                "not declare as a residue handler"
+            ),
+            spec_section="resource_protocols.residue_sensitive / residue_handlers",
+            experiments=("E4", "E6"),
+            example=(
+                "pool.free_page(file, page_id)  # page bytes stay on the\n"
+                "# free list: every caller needs a residue_handlers entry"
+            ),
+        ),
+    ),
+    run=protocol_lint,
+)

@@ -24,59 +24,14 @@ from __future__ import annotations
 import ast
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..modindex import ModuleInfo, PackageIndex
+from ..facts import (
+    _WRITE_METHODS,
+    _local_names,
+    _mentions_guard,
+    _shared_containers,
+)
+from ..modindex import ModuleInfo
 from .base import LintPass, PassContext, RuleMeta, Violation
-
-#: Call-method names that mutate the receiver container in place.
-_WRITE_METHODS = {
-    "append", "appendleft", "add", "extend", "extendleft", "insert",
-    "update", "setdefault", "push", "pop", "popitem", "popleft", "clear",
-    "remove", "discard",
-}
-
-_CONTAINER_CALLS = {
-    "dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque",
-}
-
-
-def _is_container_literal(node: ast.expr) -> bool:
-    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
-                         ast.ListComp, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        target = node.func
-        name = None
-        if isinstance(target, ast.Name):
-            name = target.id
-        elif isinstance(target, ast.Attribute):
-            name = target.attr
-        return name in _CONTAINER_CALLS
-    return False
-
-
-def _shared_containers(index: PackageIndex) -> Dict[Tuple[str, str], str]:
-    """(module, name) / (class leaf scope) -> container qualname.
-
-    Module-level mutable containers, plus class-body ``Assign`` containers
-    (``class Server: sessions = {}``), which are shared across instances.
-    """
-    containers: Dict[Tuple[str, str], str] = {}
-    for mod_name, module in index.modules.items():
-        for name, value in module.constants.items():
-            if _is_container_literal(value):
-                containers[(mod_name, name)] = f"{mod_name}.{name}"
-    for cls_qual, info in index.classes.items():
-        for child in info.node.body:
-            if (
-                isinstance(child, ast.Assign)
-                and len(child.targets) == 1
-                and isinstance(child.targets[0], ast.Name)
-                and _is_container_literal(child.value)
-            ):
-                containers[(cls_qual, child.targets[0].id)] = (
-                    f"{cls_qual}.{child.targets[0].id}"
-                )
-    return containers
 
 
 def _entry_functions(ctx: PassContext) -> Set[str]:
@@ -107,48 +62,6 @@ def _reachable(ctx: PassContext, roots: Set[str]) -> Set[str]:
                 seen.add(nxt)
                 stack.append(nxt)
     return seen
-
-
-def _local_names(fn_node: ast.AST) -> Set[str]:
-    """Names bound locally (params + assignments): these shadow globals."""
-    names: Set[str] = set()
-    args = fn_node.args
-    for a in (
-        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
-    ):
-        names.add(a.arg)
-    if args.vararg:
-        names.add(args.vararg.arg)
-    if args.kwarg:
-        names.add(args.kwarg.arg)
-    for node in ast.walk(fn_node):
-        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign) else [node.target]
-            )
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif isinstance(node, (ast.For, ast.comprehension)):
-            target = node.target
-            for leaf in ast.walk(target):
-                if isinstance(leaf, ast.Name):
-                    names.add(leaf.id)
-        elif isinstance(node, ast.Global):
-            names.difference_update(node.names)
-    return names
-
-
-def _mentions_guard(node: ast.expr, guards: Tuple[str, ...]) -> bool:
-    for child in ast.walk(node):
-        ident: Optional[str] = None
-        if isinstance(child, ast.Name):
-            ident = child.id
-        elif isinstance(child, ast.Attribute):
-            ident = child.attr
-        if ident is not None and any(g in ident for g in guards):
-            return True
-    return False
 
 
 class _WriteScanner(ast.NodeVisitor):
@@ -252,6 +165,11 @@ class _WriteScanner(ast.NodeVisitor):
 def shared_state_lint(ctx: PassContext) -> List[Violation]:
     policy = ctx.spec.concurrency
     if policy is None or not policy.entry_points:
+        return []
+    if getattr(policy, "lockset", False):
+        # The Eraser-style lockset pass subsumes the lexical rule (and is
+        # strictly more precise: interprocedural held-at-entry, MHP
+        # pruning). Running both would double-report every finding.
         return []
     containers = _shared_containers(ctx.index)
     if not containers:

@@ -112,9 +112,9 @@ class CryptoPolicy:
 
 @dataclass(frozen=True)
 class ConcurrencyPolicy:
-    """Configuration for the shared-state lint pass.
+    """Configuration for the shared-state and lockset lint passes.
 
-    The pass only runs when a spec carries a ``concurrency`` section.
+    The passes only run when a spec carries a ``concurrency`` section.
     """
 
     #: Class qualnames whose methods are concurrent entry points (server /
@@ -124,6 +124,74 @@ class ConcurrencyPolicy:
     #: Attribute/variable name fragments that count as lock guards when a
     #: write site is lexically inside ``with <guard>:``.
     lock_guards: Tuple[str, ...] = ("lock", "_lock", "mutex")
+    #: Opt into the Eraser-style lockset pass. When true, the lexical
+    #: shared-state rule stands down and the per-container candidate-lockset
+    #: intersection (with interprocedural held-at-entry propagation and
+    #: may-happen-in-parallel pruning) subsumes it.
+    lockset: bool = False
+    #: Entry roles that the scheduler topology serializes (never overlap
+    #: any other role, nor themselves). Accesses reachable *only* from
+    #: these roles are pruned from the lockset intersection.
+    serial_entry_points: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReleaseSpec:
+    """One release callable of a protocol resource."""
+
+    callable: str
+    #: The parameter receiving the resource being released.
+    param: str
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One acquire/release protocol (e.g. buffer-pool frames, txns)."""
+
+    name: str
+    acquire: Tuple[str, ...]
+    release: Tuple[ReleaseSpec, ...]
+    #: Callables that flag a held resource dirty without releasing it.
+    mark_dirty: Tuple[str, ...] = ()
+    #: Release parameter that carries the dirty flag (empty = the resource
+    #: has no dirty protocol and the dirty-unpin rule never fires for it).
+    dirty_param: str = ""
+    #: Whether a resource still live when an exception propagates *out of*
+    #: the function is a leak. True for frames (a pinned frame survives
+    #: the exception and starves the pool); false for transactions (the
+    #: engine-level session teardown owns the abort).
+    leak_on_uncaught: bool = True
+
+
+@dataclass(frozen=True)
+class GuardedMutatorSpec:
+    """A callable that must only run inside a live resource (e.g. a txn)."""
+
+    callable: str
+    param: str
+    resource: str
+
+
+@dataclass(frozen=True)
+class ResourceProtocolsPolicy:
+    """Configuration for the resource-protocol (typestate) lint pass.
+
+    The pass only runs when a spec carries a ``resource_protocols`` section.
+    """
+
+    resources: Tuple[ResourceSpec, ...] = ()
+    guarded_mutators: Tuple[GuardedMutatorSpec, ...] = ()
+    #: Callables whose invocation leaves recoverable payload residue
+    #: behind (the paper's E4/E6 surface — ``free_page`` keeps the page
+    #: image on the free list).
+    residue_sensitive: Tuple[str, ...] = ()
+    #: (caller qualname, justification) pairs declaring which functions
+    #: are *allowed* to call residue-sensitive callables. Any other caller
+    #: is flagged — and the rule can never be baselined away.
+    residue_handlers: Tuple[Tuple[str, str], ...] = ()
+
+    def handler_quals(self) -> FrozenSet[str]:
+        return frozenset(qual for qual, _ in self.residue_handlers)
 
 
 @dataclass(frozen=True)
@@ -160,6 +228,7 @@ class LeakageSpec:
     snapshot_artifacts: List[SnapshotArtifactSpec] = field(default_factory=list)
     crypto_policy: Optional[CryptoPolicy] = None
     concurrency: Optional[ConcurrencyPolicy] = None
+    resource_protocols: Optional[ResourceProtocolsPolicy] = None
     path: str = ""
 
     def documented_pairs(self) -> Set[Tuple[str, str]]:
@@ -228,6 +297,45 @@ class LeakageSpec:
                     problems.append(
                         f"crypto_policy: undeclared det taint kind {taint!r}"
                     )
+        if self.resource_protocols is not None:
+            seen_resources: Set[str] = set()
+            for res in self.resource_protocols.resources:
+                if not res.name:
+                    problems.append("resource_protocols: resource missing a name")
+                    continue
+                if res.name in seen_resources:
+                    problems.append(
+                        f"resource_protocols: resource {res.name!r} declared twice"
+                    )
+                seen_resources.add(res.name)
+                if not res.acquire:
+                    problems.append(
+                        f"resource {res.name}: needs at least one acquire callable"
+                    )
+                if not res.release:
+                    problems.append(
+                        f"resource {res.name}: needs at least one release callable"
+                    )
+                for rel in res.release:
+                    if not rel.param:
+                        problems.append(
+                            f"resource {res.name}: release {rel.callable} "
+                            "must name the resource parameter"
+                        )
+            for mut in self.resource_protocols.guarded_mutators:
+                if mut.resource not in seen_resources:
+                    problems.append(
+                        f"guarded mutator {mut.callable}: unknown resource "
+                        f"{mut.resource!r}"
+                    )
+            if (
+                self.resource_protocols.residue_handlers
+                and not self.resource_protocols.residue_sensitive
+            ):
+                problems.append(
+                    "resource_protocols: residue_handlers declared without "
+                    "any residue_sensitive callables"
+                )
         seen_artifacts: Set[str] = set()
         for art in self.snapshot_artifacts:
             if art.name in seen_artifacts:
@@ -402,6 +510,82 @@ def load_spec(path) -> LeakageSpec:
                 raw_conc.get("lock_guards", ["lock", "_lock", "mutex"]),
                 "concurrency.lock_guards",
             ),
+            lockset=bool(raw_conc.get("lockset", False)),
+            serial_entry_points=_as_tuple(
+                raw_conc.get("serial_entry_points"),
+                "concurrency.serial_entry_points",
+            ),
+        )
+
+    resource_protocols = None
+    raw_proto = raw.get("resource_protocols")
+    if raw_proto is not None:
+        if not isinstance(raw_proto, dict):
+            raise AnalysisError(
+                f"{path}: resource_protocols must be an object/table"
+            )
+        resources = []
+        for i, entry in enumerate(raw_proto.get("resources", [])):
+            try:
+                releases = tuple(
+                    ReleaseSpec(
+                        callable=rel["callable"], param=rel.get("param", "")
+                    )
+                    for rel in entry.get("release", [])
+                )
+                resources.append(
+                    ResourceSpec(
+                        name=entry["name"],
+                        acquire=_as_tuple(
+                            entry.get("acquire"),
+                            f"resource_protocols.resources[{i}].acquire",
+                        ),
+                        release=releases,
+                        mark_dirty=_as_tuple(
+                            entry.get("mark_dirty"),
+                            f"resource_protocols.resources[{i}].mark_dirty",
+                        ),
+                        dirty_param=entry.get("dirty_param", ""),
+                        leak_on_uncaught=bool(
+                            entry.get("leak_on_uncaught", True)
+                        ),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}: resource_protocols.resources[{i}] malformed: {exc}"
+                ) from exc
+        mutators = []
+        for i, entry in enumerate(raw_proto.get("guarded_mutators", [])):
+            try:
+                mutators.append(
+                    GuardedMutatorSpec(
+                        callable=entry["callable"],
+                        param=entry["param"],
+                        resource=entry["resource"],
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}: resource_protocols.guarded_mutators[{i}] "
+                    f"malformed: {exc}"
+                ) from exc
+        raw_handlers = raw_proto.get("residue_handlers", {})
+        if not isinstance(raw_handlers, dict):
+            raise AnalysisError(
+                f"{path}: resource_protocols.residue_handlers must map "
+                "caller qualnames to justification notes"
+            )
+        resource_protocols = ResourceProtocolsPolicy(
+            resources=tuple(resources),
+            guarded_mutators=tuple(mutators),
+            residue_sensitive=_as_tuple(
+                raw_proto.get("residue_sensitive"),
+                "resource_protocols.residue_sensitive",
+            ),
+            residue_handlers=tuple(
+                sorted((str(k), str(v)) for k, v in raw_handlers.items())
+            ),
         )
 
     spec = LeakageSpec(
@@ -420,6 +604,7 @@ def load_spec(path) -> LeakageSpec:
         snapshot_artifacts=snapshot_artifacts,
         crypto_policy=crypto_policy,
         concurrency=concurrency,
+        resource_protocols=resource_protocols,
         path=str(path),
     )
     problems = spec.validate()

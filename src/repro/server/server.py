@@ -226,7 +226,16 @@ class MySQLServer:
         return session
 
     def disconnect(self, session: Session) -> None:
-        """Close a client connection (buffers freed, not zeroed)."""
+        """Close a client connection (buffers freed, not zeroed).
+
+        An open transaction is rolled back first — MySQL semantics: a
+        dropped connection implicitly aborts its transaction. Leaving it
+        live would hold MVCC versions and undo records for a session that
+        can never commit.
+        """
+        if session.active_txn is not None:
+            self.engine.rollback(session.active_txn)
+            session.active_txn = None
         session.close()
         self.info_schema.unregister_session(session.session_id)
         self._sessions.pop(session.session_id, None)

@@ -128,7 +128,11 @@ class PagedBTree:
         """Pin the leaf covering ``key``; parents are released on the way."""
         frame = self._fetch(self._root_id, path)
         while isinstance(frame.node, InternalNode):
-            child = self._fetch(frame.node.route(key), path)
+            try:
+                child = self._fetch(frame.node.route(key), path)
+            except BaseException:
+                self._pool.unpin(frame)
+                raise
             self._pool.unpin(frame)
             frame = child
         return frame
@@ -138,8 +142,12 @@ class PagedBTree:
     ) -> List[Frame]:
         """Pin the whole root-to-leaf path (split/unlink propagation)."""
         stack = [self._fetch(self._root_id, path)]
-        while isinstance(stack[-1].node, InternalNode):
-            stack.append(self._fetch(stack[-1].node.route(key), path))
+        try:
+            while isinstance(stack[-1].node, InternalNode):
+                stack.append(self._fetch(stack[-1].node.route(key), path))
+        except BaseException:
+            self._unpin_all(stack)
+            raise
         return stack
 
     # -- public operations -------------------------------------------------
@@ -165,7 +173,13 @@ class PagedBTree:
         if slot < len(leaf.entries) and leaf.entries[slot][0] == key:
             self._unpin_all(stack)
             raise StorageError(f"duplicate key {key}")
-        leaf.insert_entry(slot, key, payload)
+        try:
+            leaf.insert_entry(slot, key, payload)
+        except BaseException:
+            # insert_entry validates before mutating, so the leaf is
+            # untouched and the whole pinned path can be released clean.
+            self._unpin_all(stack)
+            raise
         self._pool.mark_dirty(stack[-1])
         self._size += 1
         self._split_up(stack)
@@ -181,7 +195,12 @@ class PagedBTree:
         if slot >= len(entries) or entries[slot][0] != key:
             self._pool.unpin(frame)
             raise StorageError(f"update of missing key {key}")
-        old_payload = frame.node.replace_entry(slot, key, payload)
+        try:
+            old_payload = frame.node.replace_entry(slot, key, payload)
+        except BaseException:
+            # replace_entry validates before mutating: unpin clean.
+            self._pool.unpin(frame)
+            raise
         self._pool.unpin(frame, dirty=True)
         return old_payload, path
 
@@ -280,7 +299,13 @@ class PagedBTree:
                     ),
                 )
                 if node.next_page != NO_PAGE:
-                    successor = self._fetch(node.next_page)
+                    try:
+                        successor = self._fetch(node.next_page)
+                    except BaseException:
+                        self._pool.unpin(right_frame)
+                        self._pool.unpin(frame)
+                        self._unpin_all(stack)
+                        raise
                     successor.node.prev_page = right_frame.page_id
                     self._pool.unpin(successor, dirty=True)
                 node.next_page = right_frame.page_id
@@ -304,17 +329,22 @@ class PagedBTree:
                 self._pool.unpin(frame)
                 frame = parent_frame
             else:
-                root_frame = self._pool.new_page(
-                    self._file,
-                    lambda pid: InternalNode(
-                        pid,
-                        node.level + 1,
-                        [
-                            (NEG_INF, node.page_id),  # noqa: B023
-                            (sep_key, right_frame.page_id),  # noqa: B023
-                        ],
-                    ),
-                )
+                try:
+                    root_frame = self._pool.new_page(
+                        self._file,
+                        lambda pid: InternalNode(
+                            pid,
+                            node.level + 1,
+                            [
+                                (NEG_INF, node.page_id),  # noqa: B023
+                                (sep_key, right_frame.page_id),  # noqa: B023
+                            ],
+                        ),
+                    )
+                except BaseException:
+                    self._pool.unpin(right_frame)
+                    self._pool.unpin(frame)
+                    raise
                 self._root_id = root_frame.page_id
                 self._pool.unpin(root_frame)
                 self._pool.unpin(right_frame)

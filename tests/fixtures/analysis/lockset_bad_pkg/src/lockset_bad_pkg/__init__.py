@@ -1,0 +1,1 @@
+"""Known-bad fixture for the lockset pass: two locks, no candidate."""

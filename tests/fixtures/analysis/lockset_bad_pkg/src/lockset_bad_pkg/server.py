@@ -1,0 +1,28 @@
+"""Every access is lexically lock-guarded — the old shared-state rule is
+silent by construction — but the two handlers hold *different* locks, so
+the candidate lockset of REGISTRY is empty and the writes can interleave.
+"""
+
+from .state import REGISTRY
+
+
+class _Lock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+lock_a = _Lock()
+lock_b = _Lock()
+
+
+class Server:
+    def handle_a(self, key: str, value: str) -> None:
+        with lock_a:
+            REGISTRY[key] = value
+
+    def handle_b(self, key: str) -> None:
+        with lock_b:
+            REGISTRY.pop(key, None)

@@ -1,0 +1,1 @@
+"""Known-good fixture for the lockset pass: one lock, held everywhere."""

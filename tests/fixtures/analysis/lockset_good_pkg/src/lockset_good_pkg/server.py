@@ -1,0 +1,44 @@
+"""A consistent single-lock discipline the lockset pass must not flag.
+
+``_evict`` writes without a lexical guard — the lexical shared-state rule
+would flag it — but it is only ever called with ``lock_a`` held, so its
+held-at-entry set covers the access. ``Maintenance.sweep`` writes with no
+lock at all, but the spec declares Maintenance a *serial* entry role: the
+scheduler never overlaps it with the worker handlers, so MHP pruning
+keeps it out of the candidate intersection.
+"""
+
+from .state import REGISTRY
+
+
+class _Lock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+lock_a = _Lock()
+
+
+class Server:
+    def handle_a(self, key: str, value: str) -> None:
+        with lock_a:
+            REGISTRY[key] = value
+
+    def handle_b(self, key: str) -> None:
+        with lock_a:
+            REGISTRY.pop(key, None)
+
+    def handle_c(self, key: str) -> None:
+        with lock_a:
+            self._evict(key)
+
+    def _evict(self, key: str) -> None:
+        REGISTRY.pop(key, None)
+
+
+class Maintenance:
+    def sweep(self) -> None:
+        REGISTRY.clear()

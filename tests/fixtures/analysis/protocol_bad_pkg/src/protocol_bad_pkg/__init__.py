@@ -1,0 +1,1 @@
+"""Known-bad fixture for the resource-protocol (typestate) pass."""

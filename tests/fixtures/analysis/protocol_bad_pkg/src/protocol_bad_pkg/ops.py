@@ -1,0 +1,42 @@
+"""One function per protocol violation kind."""
+
+from .pool import Engine, Pool, decode
+
+
+def pin_leak_on_exception(pool: Pool, raw: bytes) -> bytes:
+    h = pool.acquire(1)
+    row = decode(raw)  # may raise -> h never released
+    pool.release(h)
+    return row
+
+
+def pin_leak_normal(pool: Pool, flag: bool) -> None:
+    h = pool.acquire(2)
+    if flag:
+        pool.release(h)  # the other branch leaks the pin
+
+
+def dirty_without_mark(pool: Pool) -> None:
+    h = pool.acquire(3)
+    h.payload = b"x"
+    pool.release(h)  # mutated but released clean
+
+
+def missing_abort(engine: Engine, raw: bytes):
+    txn = engine.begin()
+    try:
+        engine.insert(txn, decode(raw))
+    except ValueError:
+        return None  # handler exits without rollback
+    engine.commit(txn)
+    return txn
+
+
+def mutate_after_commit(engine: Engine, row: bytes) -> None:
+    txn = engine.begin()
+    engine.commit(txn)
+    engine.insert(txn, row)  # txn already released
+
+
+def undeclared_free(pool: Pool) -> None:
+    pool.free(9)  # no residue_handlers declaration

@@ -1,0 +1,47 @@
+"""Toy pool/engine protocol surface mirroring the paged storage layer."""
+
+
+class Handle:
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        self.payload = b""
+
+
+class Pool:
+    def acquire(self, page_id: int) -> Handle:
+        if page_id < 0:
+            raise ValueError("bad page id")
+        return Handle(page_id)
+
+    def release(self, handle: Handle, dirty: bool = False) -> None:
+        pass
+
+    def mark_dirty(self, handle: Handle) -> None:
+        pass
+
+    def free(self, page_id: int) -> None:
+        pass
+
+
+def decode(raw: bytes) -> bytes:
+    if not raw:
+        raise ValueError("empty payload")
+    return raw
+
+
+class Txn:
+    pass
+
+
+class Engine:
+    def begin(self) -> Txn:
+        return Txn()
+
+    def commit(self, txn: Txn) -> None:
+        pass
+
+    def rollback(self, txn: Txn) -> None:
+        pass
+
+    def insert(self, txn: Txn, row: bytes) -> None:
+        pass

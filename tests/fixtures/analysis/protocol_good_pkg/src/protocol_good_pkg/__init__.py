@@ -1,0 +1,1 @@
+"""Known-good fixture for the resource-protocol (typestate) pass."""

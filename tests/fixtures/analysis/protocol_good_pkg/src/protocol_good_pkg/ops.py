@@ -1,0 +1,55 @@
+"""Correct protocol idioms the pass must not flag.
+
+``wrapper``/``wrapper_caller`` exercise the interprocedural summary: the
+wrapper acquires-by-return, so its caller owns (and releases) the handle.
+"""
+
+from .pool import Engine, Handle, Pool, decode
+
+
+def pin_guarded(pool: Pool, raw: bytes) -> bytes:
+    h = pool.acquire(1)
+    try:
+        row = decode(raw)
+    except BaseException:
+        pool.release(h)
+        raise
+    pool.release(h)
+    return row
+
+
+def pin_dirty(pool: Pool) -> None:
+    h = pool.acquire(2)
+    h.payload = b"y"
+    pool.release(h, dirty=True)
+
+
+def pin_marked(pool: Pool) -> None:
+    h = pool.acquire(3)
+    h.payload = b"z"
+    pool.mark_dirty(h)
+    pool.release(h)
+
+
+def txn_both_paths(engine: Engine, raw: bytes) -> bool:
+    txn = engine.begin()
+    try:
+        engine.insert(txn, decode(raw))
+    except ValueError:
+        engine.rollback(txn)
+        return False
+    engine.commit(txn)
+    return True
+
+
+def declared_free(pool: Pool) -> None:
+    pool.free(4)  # allowlisted via residue_handlers
+
+
+def wrapper(pool: Pool) -> Handle:
+    return pool.acquire(5)
+
+
+def wrapper_caller(pool: Pool) -> None:
+    h = wrapper(pool)
+    pool.release(h)

@@ -22,6 +22,8 @@ class TestPassRegistry:
             "secure-deletion",
             "crypto-misuse",
             "shared-state",
+            "protocol",
+            "lockset",
         ]
 
     def test_rule_table_is_sorted_and_complete(self):
@@ -36,6 +38,12 @@ class TestPassRegistry:
             "crypto-key-display",
             "crypto-det-misuse",
             "shared-state-unguarded",
+            "protocol-leak",
+            "protocol-exception-leak",
+            "protocol-dirty-unpin",
+            "protocol-unguarded-mutation",
+            "protocol-undeclared-free",
+            "lockset-race",
         }
         for meta in rules:
             assert meta.name and meta.short_description

@@ -1,0 +1,111 @@
+"""Tests for tools/bench_diff.py (a script, loaded by path — not a package)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_diff", REPO_ROOT / "tools" / "bench_diff.py"
+)
+bench_diff = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_diff)
+
+
+BASELINE = {
+    "insert": {"ops_per_sec": 1000.0, "p50_us": 50.0, "p99_us": 200.0,
+               "warm_ms": 12.0},
+}
+
+
+@pytest.fixture
+def fake_baseline(monkeypatch):
+    monkeypatch.setattr(
+        bench_diff, "committed_json", lambda path, ref: json.loads(json.dumps(BASELINE))
+    )
+
+
+def write_bench(tmp_path, payload):
+    path = tmp_path / "BENCH_fake.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDiffFile:
+    def test_unchanged_record_passes(self, tmp_path, fake_baseline):
+        path = write_bench(tmp_path, BASELINE)
+        assert bench_diff.diff_file(path, "HEAD", 0.20, 0.60) == []
+
+    def test_within_tolerance_passes(self, tmp_path, fake_baseline):
+        fresh = {"insert": dict(BASELINE["insert"], ops_per_sec=1100.0)}
+        path = write_bench(tmp_path, fresh)
+        assert bench_diff.diff_file(path, "HEAD", 0.20, 0.60) == []
+
+    def test_throughput_drift_fails(self, tmp_path, fake_baseline):
+        fresh = {"insert": dict(BASELINE["insert"], ops_per_sec=500.0)}
+        path = write_bench(tmp_path, fresh)
+        problems = bench_diff.diff_file(path, "HEAD", 0.20, 0.60)
+        assert len(problems) == 1
+        assert "ops_per_sec drifted" in problems[0]
+
+    def test_dropped_record_fails(self, tmp_path, fake_baseline):
+        path = write_bench(tmp_path, {})
+        problems = bench_diff.diff_file(path, "HEAD", 0.20, 0.60)
+        assert problems == ["BENCH_fake.json:insert: missing from fresh run"]
+
+    def test_dropped_key_fails(self, tmp_path, fake_baseline):
+        # warm_ms is not one of the three drift-compared fields; dropping
+        # it used to pass silently.
+        fresh = {"insert": {k: v for k, v in BASELINE["insert"].items()
+                            if k != "warm_ms"}}
+        path = write_bench(tmp_path, fresh)
+        problems = bench_diff.diff_file(path, "HEAD", 0.20, 0.60)
+        assert problems == [
+            "BENCH_fake.json:insert: key(s) dropped from fresh record: warm_ms"
+        ]
+
+    def test_new_key_in_fresh_record_passes(self, tmp_path, fake_baseline):
+        fresh = {"insert": dict(BASELINE["insert"], extra_metric=1.0)}
+        path = write_bench(tmp_path, fresh)
+        assert bench_diff.diff_file(path, "HEAD", 0.20, 0.60) == []
+
+    def test_new_record_passes_with_notice(self, tmp_path, fake_baseline, capsys):
+        fresh = dict(BASELINE, scan={"ops_per_sec": 5.0})
+        path = write_bench(tmp_path, fresh)
+        assert bench_diff.diff_file(path, "HEAD", 0.20, 0.60) == []
+        assert "new record" in capsys.readouterr().out
+
+    def test_new_file_skipped(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench_diff, "committed_json", lambda path, ref: None)
+        path = write_bench(tmp_path, BASELINE)
+        assert bench_diff.diff_file(path, "HEAD", 0.20, 0.60) == []
+        assert "skipping" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_exit_one_on_dropped_key(self, tmp_path, fake_baseline, capsys):
+        fresh = {"insert": {k: v for k, v in BASELINE["insert"].items()
+                            if k != "warm_ms"}}
+        path = write_bench(tmp_path, fresh)
+        assert bench_diff.main([str(path)]) == 1
+        assert "dropped from fresh record" in capsys.readouterr().err
+
+    def test_exit_zero_when_clean(self, tmp_path, fake_baseline, capsys):
+        path = write_bench(tmp_path, BASELINE)
+        assert bench_diff.main([str(path)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_real_committed_baselines_parse(self):
+        # Sanity: the tool reads every committed BENCH file against HEAD
+        # without crashing (drift itself is machine-dependent, so only
+        # the record/key structure is asserted here — main() is not run).
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            fresh = json.loads(path.read_text())
+            baseline = bench_diff.committed_json(path, "HEAD")
+            if baseline is None:
+                continue
+            for record in fresh:
+                assert isinstance(fresh[record], dict)

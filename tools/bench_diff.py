@@ -9,7 +9,9 @@ container is far noisier than throughput best-ofs.
 
 A record present in the baseline but missing from the fresh run is an
 error — a renamed or dropped benchmark must refresh the committed JSON in
-the same change. The reverse (a record in the fresh run with no baseline
+the same change. So is a *key* present in a committed record but absent
+from the fresh one (e.g. a harness edit that silently stops measuring
+``warm_ms``): dropped keys would otherwise pass every field comparison. The reverse (a record in the fresh run with no baseline
 yet) is a *new* benchmark: it passes with a notice, since the very change
 that introduces a benchmark record cannot also have it in the committed
 baseline it is diffed against.
@@ -64,6 +66,12 @@ def diff_file(path: Path, ref: str, tolerance: float, lat_tolerance: float) -> l
                 f"passing with notice"
             )
             continue
+        dropped = sorted(set(baseline[record]) - set(fresh[record]))
+        if dropped:
+            problems.append(
+                f"{path.name}:{record}: key(s) dropped from fresh record: "
+                + ", ".join(dropped)
+            )
         for field, bound in (
             ("ops_per_sec", tolerance),
             ("p50_us", lat_tolerance),
