@@ -1,106 +1,86 @@
-"""Shared machinery for fixed-capacity circular logs.
+"""Circular-log read facades over the unified WAL retention streams.
 
 InnoDB's redo and undo logs are circular files: new records overwrite the
 oldest ones once the file fills. The retention window therefore depends on
 write rate and record size — the quantity behind the paper's "16 days' worth
 of inserts" observation (Section 3, experiment E2).
+
+Since the unified-WAL refactor the retention mechanics live in
+:class:`repro.wal.log_manager.LogStream` inside the engine's
+:class:`~repro.wal.log_manager.LogManager`; this class is the *derived
+view* the engine, snapshot registry, and forensic parsers keep using, so
+the E5/E13 circular-log artifacts stay byte-identical to the pre-WAL
+implementation.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import TYPE_CHECKING, Deque, Generic, List, Optional, Tuple, TypeVar
-
-from ..errors import LogError
-from .lsn import LsnCounter
+from typing import TYPE_CHECKING, Generic, List, Tuple, TypeVar
 
 if TYPE_CHECKING:
-    from ..obs.instrumentation import Instrumentation
+    from ..wal.log_manager import LogManager, LogStream
 
 RecordT = TypeVar("RecordT")
 
 
 class CircularLog(Generic[RecordT]):
-    """A byte-capacity-bounded log of serialized records.
+    """A read facade over one WAL retention stream.
 
-    Subclasses provide serialization; this class handles LSN assignment,
-    byte accounting, and eviction of the oldest records once ``capacity``
-    is exceeded (the "circular" behaviour).
+    Subclasses route ``log()`` through the owning
+    :class:`~repro.wal.log_manager.LogManager` (which assigns the LSN and
+    stages the durable frame); every inspection property delegates to the
+    underlying :class:`~repro.wal.log_manager.LogStream` window.
     """
 
-    def __init__(
-        self,
-        capacity_bytes: int,
-        lsn: LsnCounter,
-        instrumentation: Optional["Instrumentation"] = None,
-    ) -> None:
-        if capacity_bytes <= 0:
-            raise LogError(f"log capacity must be positive, got {capacity_bytes}")
-        self.capacity_bytes = capacity_bytes
-        if instrumentation is None:
-            from ..obs.instrumentation import NO_OP_INSTRUMENTATION
+    def __init__(self, manager: "LogManager", stream: "LogStream[RecordT]") -> None:
+        self._manager = manager
+        self._stream = stream
 
-            instrumentation = NO_OP_INSTRUMENTATION
-        self._obs = instrumentation
-        self._lsn = lsn
-        self._entries: Deque[Tuple[int, bytes, RecordT]] = deque()
-        self._used_bytes = 0
-        self._total_appended = 0
-        self._total_evicted = 0
-
-    def _append(self, raw: bytes, record: RecordT) -> int:
-        """Store ``raw``/``record``, assign an LSN, evict as needed."""
-        if len(raw) > self.capacity_bytes:
-            raise LogError(
-                f"record of {len(raw)} bytes exceeds log capacity "
-                f"{self.capacity_bytes}"
-            )
-        lsn = self._lsn.advance(len(raw))
-        self._entries.append((lsn, raw, record))
-        self._used_bytes += len(raw)
-        self._total_appended += 1
-        while self._used_bytes > self.capacity_bytes:
-            _, old_raw, _ = self._entries.popleft()
-            self._used_bytes -= len(old_raw)
-            self._total_evicted += 1
-        return lsn
+    @property
+    def manager(self) -> "LogManager":
+        """The WAL manager this view is derived from."""
+        return self._manager
 
     # -- inspection --------------------------------------------------------
 
     @property
+    def capacity_bytes(self) -> int:
+        return self._stream.capacity_bytes
+
+    @property
     def used_bytes(self) -> int:
-        return self._used_bytes
+        return self._stream.used_bytes
 
     @property
     def num_records(self) -> int:
         """Records currently retained (not yet overwritten)."""
-        return len(self._entries)
+        return self._stream.num_records
 
     @property
     def total_appended(self) -> int:
-        return self._total_appended
+        return self._stream.total_appended
 
     @property
     def total_evicted(self) -> int:
-        return self._total_evicted
+        return self._stream.total_evicted
 
     @property
     def oldest_lsn(self) -> int:
         """LSN of the oldest retained record (-1 if empty)."""
-        return self._entries[0][0] if self._entries else -1
+        return self._stream.oldest_lsn
 
     @property
     def newest_lsn(self) -> int:
         """LSN of the newest retained record (-1 if empty)."""
-        return self._entries[-1][0] if self._entries else -1
+        return self._stream.newest_lsn
 
     def records(self) -> List[RecordT]:
         """Retained records, oldest first (structured view)."""
-        return [record for _, _, record in self._entries]
+        return self._stream.records()
 
     def records_with_lsn(self) -> List[Tuple[int, RecordT]]:
         """Retained ``(lsn, record)`` pairs, oldest first."""
-        return [(lsn, record) for lsn, _, record in self._entries]
+        return self._stream.records_with_lsn()
 
     def raw_bytes(self) -> bytes:
         """The raw on-disk image a disk-theft attacker obtains.
@@ -108,11 +88,4 @@ class CircularLog(Generic[RecordT]):
         Each record is framed as ``lsn(8) || len(4) || body`` so the
         forensic parser can walk it without structured access.
         """
-        from ..util.serialization import encode_uint
-
-        parts = []
-        for lsn, raw, _ in self._entries:
-            parts.append(encode_uint(lsn, 8))
-            parts.append(encode_uint(len(raw)))
-            parts.append(raw)
-        return b"".join(parts)
+        return self._stream.raw_bytes()

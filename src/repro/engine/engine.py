@@ -21,8 +21,8 @@ from ..obs.instrumentation import NO_OP_INSTRUMENTATION, Instrumentation
 from ..storage import BTree, BufferPool, Tablespace
 from ..storage.btree import AccessPath
 from ..storage.paged import BufferPoolManager, PagedTable, PageFile
+from ..wal.log_manager import DEFAULT_SEGMENT_BYTES, LogManager
 from .binlog import Binlog
-from .lsn import LsnCounter
 from .mvcc import MVCCManager
 from .redo_log import DEFAULT_CAPACITY, RedoLog, RedoRecord
 from .transaction import Transaction
@@ -82,6 +82,13 @@ class StorageEngine:
         the engine is garbage-collected (or :meth:`close`\\ d).
     buffer_pool_policy:
         Paged mode only: frame eviction policy, ``"lru"`` or ``"clock"``.
+    wal_segment_bytes:
+        Roll threshold for on-disk WAL segments (paged mode writes them
+        under ``<data_dir>/wal/``; memory mode keeps them resident).
+    wal_sync:
+        When ``True`` (default) every group flush ``fsync``\\ s the active
+        WAL segment. Crash tests that drive thousands of transactions turn
+        this off for speed; the flush boundary semantics are identical.
     """
 
     def __init__(
@@ -98,6 +105,8 @@ class StorageEngine:
         storage: str = "memory",
         data_dir: Optional[str] = None,
         buffer_pool_policy: str = "lru",
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        wal_sync: bool = True,
     ) -> None:
         if storage not in ("memory", "paged"):
             raise EngineError(
@@ -105,10 +114,6 @@ class StorageEngine:
             )
         self.clock = clock or SimClock()
         self.obs = instrumentation or NO_OP_INSTRUMENTATION
-        self.lsn = LsnCounter()
-        self.redo_log = RedoLog(redo_capacity, self.lsn, instrumentation=self.obs)
-        self.undo_log = UndoLog(undo_capacity, self.lsn, instrumentation=self.obs)
-        self.binlog = Binlog(enabled=binlog_enabled)
         self.storage_mode = storage
         self._data_dir: Optional[str] = None
         self._dir_finalizer = None
@@ -121,16 +126,36 @@ class StorageEngine:
             else:
                 os.makedirs(data_dir, exist_ok=True)
             self._data_dir = data_dir
+        self.wal = LogManager(
+            wal_dir=(
+                os.path.join(self._data_dir, "wal") if storage == "paged" else None
+            ),
+            redo_capacity=redo_capacity,
+            undo_capacity=undo_capacity,
+            segment_bytes=wal_segment_bytes,
+            sync=wal_sync,
+            instrumentation=self.obs,
+        )
+        self.lsn = self.wal.lsn
+        self.redo_log = RedoLog(manager=self.wal)
+        self.undo_log = UndoLog(manager=self.wal)
+        self.binlog = Binlog(enabled=binlog_enabled)
+        if storage == "paged":
             self.buffer_pool = BufferPoolManager(
                 buffer_pool_capacity,
                 policy=buffer_pool_policy,
                 lsn_source=lambda: self.lsn.current,
+                log_flusher=self.wal.flush_to,
                 instrumentation=self.obs,
             )
         else:
             self.buffer_pool = BufferPool(
                 buffer_pool_capacity, instrumentation=self.obs
             )
+        #: Set by :func:`repro.wal.recovery.recover_engine` on an engine it
+        #: rebuilt; ``None`` on a cleanly started engine.
+        self.last_recovery_report = None
+        self._crashed = False
         self._btree_fanout = btree_fanout
         self._tables: Dict[str, Tuple] = {}
         self._next_space_id = space_id_base + 1
@@ -156,11 +181,13 @@ class StorageEngine:
             self._next_space_id = max(self._next_space_id, page_file.space_id) + 1
             table = PagedTable(self.buffer_pool, page_file)
             self._tables[name] = (page_file, table)
+            self.wal.append_table_register(name)
             return
         space = Tablespace(self._next_space_id, name)
         self._next_space_id += 1
         tree = BTree(space, max_entries=self._btree_fanout, on_touch=self.buffer_pool.touch)
         self._tables[name] = (space, tree)
+        self.wal.append_table_register(name)
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -205,6 +232,7 @@ class StorageEngine:
             txn_id = self._next_txn_id
         self._next_txn_id = max(self._next_txn_id, txn_id) + 1
         txn = Transaction(txn_id=txn_id, snapshot_lsn=self.lsn.current)
+        self.wal.append_begin(txn_id)
         self._active_txn_ids.add(txn.txn_id)
         if self.mvcc is not None:
             self.mvcc.begin(txn)
@@ -220,19 +248,49 @@ class StorageEngine:
             timestamp = self.clock.timestamp()
             for statement in txn.statements or ["<unlogged statement>"]:
                 self.binlog.log(timestamp, txn.txn_id, statement, self.lsn.current)
+        self.wal.append_commit(txn.txn_id)
+        if txn.is_write:
+            # Group commit: the commit record and everything before it
+            # become durable here — the transaction's durability point.
+            self.wal.flush()
 
     def rollback(self, txn: Transaction) -> None:
         """Undo every change in reverse order using the before-images."""
         for change in reversed(txn.changes):
             _, tree = self._lookup(change.table)
+            # Compensation record first (WAL discipline: log before apply);
+            # replay then repeats history — forward changes *and* their
+            # undo — so aborted transactions need no work at restart.
             if change.op == ChangeOp.INSERT.value:
+                self.wal.append_clr(
+                    RedoRecord(txn.txn_id, change.table, "delete", change.key, b"")
+                )
                 tree.delete(change.key)
             elif change.op == ChangeOp.UPDATE.value:
+                self.wal.append_clr(
+                    RedoRecord(
+                        txn.txn_id,
+                        change.table,
+                        "update",
+                        change.key,
+                        change.before_image,
+                    )
+                )
                 tree.update(change.key, change.before_image)
             elif change.op == ChangeOp.DELETE.value:
+                self.wal.append_clr(
+                    RedoRecord(
+                        txn.txn_id,
+                        change.table,
+                        "insert",
+                        change.key,
+                        change.before_image,
+                    )
+                )
                 tree.insert(change.key, change.before_image)
             else:  # pragma: no cover - ops are engine-generated
                 raise TransactionError(f"unknown change op {change.op!r}")
+        self.wal.append_abort(txn.txn_id)
         txn.mark_rolled_back()
         self._active_txn_ids.discard(txn.txn_id)
         if self.mvcc is not None:
@@ -265,8 +323,10 @@ class StorageEngine:
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.INSERT.value, key, b"")
         )
-        self.redo_log.log(
-            RedoRecord(txn.txn_id, table, ChangeOp.INSERT.value, key, row)
+        txn.note_lsn(
+            self.redo_log.log(
+                RedoRecord(txn.txn_id, table, ChangeOp.INSERT.value, key, row)
+            )
         )
         if self.mvcc is not None:
             self.mvcc.record_write(
@@ -286,8 +346,10 @@ class StorageEngine:
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.UPDATE.value, key, before)
         )
-        self.redo_log.log(
-            RedoRecord(txn.txn_id, table, ChangeOp.UPDATE.value, key, row)
+        txn.note_lsn(
+            self.redo_log.log(
+                RedoRecord(txn.txn_id, table, ChangeOp.UPDATE.value, key, row)
+            )
         )
         if self.mvcc is not None:
             self.mvcc.record_write(
@@ -307,8 +369,10 @@ class StorageEngine:
         self.undo_log.log(
             UndoRecord(txn.txn_id, table, ChangeOp.DELETE.value, key, before)
         )
-        self.redo_log.log(
-            RedoRecord(txn.txn_id, table, ChangeOp.DELETE.value, key, b"")
+        txn.note_lsn(
+            self.redo_log.log(
+                RedoRecord(txn.txn_id, table, ChangeOp.DELETE.value, key, b"")
+            )
         )
         if self.mvcc is not None:
             self.mvcc.record_write(
@@ -406,23 +470,60 @@ class StorageEngine:
         return self._lookup(name)[1]
 
     def checkpoint(self) -> int:
-        """Flush dirty frames and stamp tablespace headers (paged mode).
+        """Fuzzy checkpoint: log the dirty-page table + active txns, force
+        the WAL, then (paged mode) flush frames and stamp file headers.
 
-        In memory mode this is a no-op returning the current LSN — the
-        dict-backed tablespaces are always "durable".
+        In memory mode the tablespaces are always "durable", so only the
+        checkpoint record is emitted and the current LSN returned.
         """
+        active = tuple(sorted(self._active_txn_ids))
         if self.storage_mode != "paged":
+            self.wal.append_checkpoint((), active)
+            self.wal.flush()
             return self.lsn.current
+        self.wal.append_checkpoint(self.buffer_pool.dirty_page_table(), active)
+        self.wal.flush()
         return self.buffer_pool.checkpoint()
 
     def close(self) -> None:
         """Checkpoint and close every page file; remove a private tempdir."""
+        if self._crashed:
+            return
+        self.checkpoint()
+        self.wal.close()
         if self.storage_mode == "paged":
-            self.buffer_pool.checkpoint()
             for page_file, _ in self._tables.values():
                 page_file.close()
         if self._dir_finalizer is not None:
             self._dir_finalizer()
+
+    def simulate_crash(self) -> None:
+        """Kill the engine at this instant — the failure-injection hook.
+
+        Staged (unflushed) WAL frames vanish, dirty frames never reach
+        disk, and tablespace headers stay at their last checkpoint; the
+        data directory is left exactly as a ``kill -9`` would, ready for
+        :func:`repro.wal.recovery.recover_engine`. A private tempdir's
+        cleanup finalizer is detached so the "disk" survives this object.
+        """
+        self._crashed = True
+        self.wal.crash()
+        if self.storage_mode == "paged":
+            for page_file, _ in self._tables.values():
+                page_file.crash_close()
+        if self._dir_finalizer is not None:
+            self._dir_finalizer.detach()
+            self._dir_finalizer = None
+
+    def wal_segments(self) -> Dict[str, bytes]:
+        """Flushed WAL segment bytes by name — the disk-snapshot surface."""
+        return self.wal.segments()
+
+    def dirty_page_table(self):
+        """The pool's current dirty-page table (paged; empty otherwise)."""
+        if self.storage_mode != "paged":
+            return ()
+        return self.buffer_pool.dirty_page_table()
 
     @property
     def data_dir(self) -> Optional[str]:

@@ -1,34 +1,12 @@
-"""Log sequence numbers.
+"""Log sequence numbers — moved to :mod:`repro.wal.lsn`.
 
-InnoDB's LSN is a byte offset into the logical redo stream; it only grows.
-The paper's Section 3 timestamp-correlation attack exploits exactly this:
-the binlog pairs (timestamp, LSN) at commit points, and the rate of LSN
-growth lets an attacker date redo/undo entries that have already aged out of
-the binlog window.
+The unified WAL owns the LSN clock now (one monotone counter per engine,
+shared by redo, undo, and every control record). This module remains as a
+compatibility re-export for historical importers.
 """
 
 from __future__ import annotations
 
-from ..errors import LogError
+from ..wal.lsn import LsnCounter
 
-
-class LsnCounter:
-    """Monotone byte-offset counter shared by the redo and undo logs."""
-
-    def __init__(self, start: int = 0) -> None:
-        if start < 0:
-            raise LogError(f"LSN must be non-negative, got {start}")
-        self._lsn = start
-
-    @property
-    def current(self) -> int:
-        """The next LSN to be assigned."""
-        return self._lsn
-
-    def advance(self, num_bytes: int) -> int:
-        """Consume ``num_bytes`` of log space; return the record's start LSN."""
-        if num_bytes <= 0:
-            raise LogError(f"LSN advance must be positive, got {num_bytes}")
-        start = self._lsn
-        self._lsn += num_bytes
-        return start
+__all__ = ["LsnCounter"]

@@ -10,87 +10,50 @@ Redo records carry the *after* image (what the row became); see
 :mod:`repro.engine.undo_log` for before-images. Neither log carries
 timestamps — dating entries requires the binlog correlation attack in
 :mod:`repro.forensics.binlog_reader`.
+
+Since the unified-WAL refactor the record type lives in
+:mod:`repro.wal.records` and appends are durably staged through the
+engine's :class:`~repro.wal.log_manager.LogManager`; :class:`RedoLog` is
+the circular in-memory *view* of the redo stream (byte-identical to the
+old standalone implementation, including LSN assignment and eviction).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import LogError
-from ..util.serialization import (
-    decode_bytes,
-    decode_str,
-    encode_bytes,
-    encode_str,
-    encode_uint,
-    read_uint,
-)
+from ..wal.log_manager import DEFAULT_CAPACITY, LogManager
+from ..wal.lsn import LsnCounter
+from ..wal.records import RedoRecord
 from ._circular import CircularLog
-from .lsn import LsnCounter
 
-#: The paper's quoted default for undo + redo combined is 50 MB; we give each
-#: log half of that.
-DEFAULT_CAPACITY = 25 * 1000 * 1000
-
-_OPS = ("insert", "update", "delete")
-
-
-@dataclass(frozen=True)
-class RedoRecord:
-    """One redo entry: the after-image of a row change.
-
-    ``after_image`` is the serialized row after the change (empty for a
-    delete, which has no after state).
-    """
-
-    txn_id: int
-    table: str
-    op: str
-    key: int
-    after_image: bytes
-
-    def __post_init__(self) -> None:
-        if self.op not in _OPS:
-            raise LogError(f"unknown redo op {self.op!r}")
-
-    def to_bytes(self) -> bytes:
-        return b"".join(
-            (
-                encode_uint(self.txn_id, 8),
-                encode_str(self.table),
-                encode_str(self.op),
-                encode_uint(self.key & 0xFFFFFFFFFFFFFFFF, 8),
-                encode_bytes(self.after_image),
-            )
-        )
-
-    @classmethod
-    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[RedoRecord, int]":
-        txn_id, offset = read_uint(data, offset, 8)
-        table, offset = decode_str(data, offset)
-        op, offset = decode_str(data, offset)
-        key_u, offset = read_uint(data, offset, 8)
-        key = key_u - (1 << 64) if key_u >= (1 << 63) else key_u
-        after_image, offset = decode_bytes(data, offset)
-        return cls(txn_id, table, op, key, after_image), offset
+__all__ = ["DEFAULT_CAPACITY", "RedoLog", "RedoRecord"]
 
 
 class RedoLog(CircularLog[RedoRecord]):
-    """Circular redo log with byte-capacity retention."""
+    """Circular redo-log view with byte-capacity retention.
+
+    Constructed either over an existing :class:`LogManager` (the engine
+    path: ``RedoLog(manager=engine.wal)``) or standalone with a private
+    manager (the historical constructor, kept for tests and tooling).
+    """
 
     def __init__(
         self,
         capacity_bytes: int = DEFAULT_CAPACITY,
         lsn: Optional[LsnCounter] = None,
         instrumentation=None,
+        manager: Optional[LogManager] = None,
     ) -> None:
-        super().__init__(capacity_bytes, lsn or LsnCounter(), instrumentation)
+        if manager is None:
+            manager = LogManager(
+                lsn=lsn if lsn is not None else LsnCounter(),
+                redo_capacity=capacity_bytes,
+                undo_capacity=capacity_bytes,
+                instrumentation=instrumentation,
+            )
+        super().__init__(manager, manager.redo_stream)
 
     def log(self, record: RedoRecord) -> int:
         """Append ``record``; returns its LSN."""
-        raw = record.to_bytes()
-        with self._obs.span("log.append", table=record.table, detail="redo"):
-            lsn = self._append(raw, record)
-        self._obs.count("redo.appended_bytes", n=len(raw))
-        return lsn
+        return self._manager.append_redo(record)

@@ -45,7 +45,17 @@ class Transaction:
     snapshot_lsn: int = 0
     statements: List[str] = field(default_factory=list)
     state: TransactionState = TransactionState.ACTIVE
+    #: LSNs of this transaction's first and last redo records (-1 while the
+    #: transaction has written nothing) — the ARIES per-txn log span.
+    first_lsn: int = -1
+    last_lsn: int = -1
     _changes: List[_Change] = field(default_factory=list)
+
+    def note_lsn(self, lsn: int) -> None:
+        """Record that a redo record at ``lsn`` belongs to this transaction."""
+        if self.first_lsn < 0:
+            self.first_lsn = lsn
+        self.last_lsn = lsn
 
     def record_change(
         self, table: str, op: str, key: int, before_image: bytes, after_image: bytes

@@ -9,84 +9,44 @@ table itself.
 Paper §3: "Transactional guarantees require the ability to roll back recent
 transactions ... thus information about recent database modifications must
 persist on the disk." The leakage is inherent in ACID.
+
+Since the unified-WAL refactor the record type lives in
+:mod:`repro.wal.records` and :class:`UndoLog` is the circular in-memory
+*view* of the undo stream inside the engine's
+:class:`~repro.wal.log_manager.LogManager`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import LogError
-from ..util.serialization import (
-    decode_bytes,
-    decode_str,
-    encode_bytes,
-    encode_str,
-    encode_uint,
-    read_uint,
-)
+from ..wal.log_manager import DEFAULT_CAPACITY, LogManager
+from ..wal.lsn import LsnCounter
+from ..wal.records import UndoRecord
 from ._circular import CircularLog
-from .lsn import LsnCounter
-from .redo_log import DEFAULT_CAPACITY
 
-_OPS = ("insert", "update", "delete")
-
-
-@dataclass(frozen=True)
-class UndoRecord:
-    """One undo entry: the before-image of a row change.
-
-    ``before_image`` is the serialized row before the change (empty for an
-    insert, which had no prior state).
-    """
-
-    txn_id: int
-    table: str
-    op: str
-    key: int
-    before_image: bytes
-
-    def __post_init__(self) -> None:
-        if self.op not in _OPS:
-            raise LogError(f"unknown undo op {self.op!r}")
-
-    def to_bytes(self) -> bytes:
-        return b"".join(
-            (
-                encode_uint(self.txn_id, 8),
-                encode_str(self.table),
-                encode_str(self.op),
-                encode_uint(self.key & 0xFFFFFFFFFFFFFFFF, 8),
-                encode_bytes(self.before_image),
-            )
-        )
-
-    @classmethod
-    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[UndoRecord, int]":
-        txn_id, offset = read_uint(data, offset, 8)
-        table, offset = decode_str(data, offset)
-        op, offset = decode_str(data, offset)
-        key_u, offset = read_uint(data, offset, 8)
-        key = key_u - (1 << 64) if key_u >= (1 << 63) else key_u
-        before_image, offset = decode_bytes(data, offset)
-        return cls(txn_id, table, op, key, before_image), offset
+__all__ = ["DEFAULT_CAPACITY", "UndoLog", "UndoRecord"]
 
 
 class UndoLog(CircularLog[UndoRecord]):
-    """Circular undo log with byte-capacity retention."""
+    """Circular undo-log view with byte-capacity retention."""
 
     def __init__(
         self,
         capacity_bytes: int = DEFAULT_CAPACITY,
         lsn: Optional[LsnCounter] = None,
         instrumentation=None,
+        manager: Optional[LogManager] = None,
     ) -> None:
-        super().__init__(capacity_bytes, lsn or LsnCounter(), instrumentation)
+        if manager is None:
+            manager = LogManager(
+                lsn=lsn if lsn is not None else LsnCounter(),
+                redo_capacity=capacity_bytes,
+                undo_capacity=capacity_bytes,
+                instrumentation=instrumentation,
+            )
+        super().__init__(manager, manager.undo_stream)
 
     def log(self, record: UndoRecord) -> int:
         """Append ``record``; returns its LSN."""
-        raw = record.to_bytes()
-        with self._obs.span("log.append", table=record.table, detail="undo"):
-            lsn = self._append(raw, record)
-        self._obs.count("undo.appended_bytes", n=len(raw))
-        return lsn
+        return self._manager.append_undo(record)

@@ -80,6 +80,14 @@ class LogError(EngineError):
     """Raised when a log (redo/undo/binlog) rejects an operation."""
 
 
+class WalError(LogError):
+    """Raised by the write-ahead log on malformed frames or misuse."""
+
+
+class RecoveryError(EngineError):
+    """Raised when ARIES restart recovery cannot proceed."""
+
+
 class ServerError(ReproError):
     """Base class for server-layer errors."""
 

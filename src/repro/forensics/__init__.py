@@ -14,6 +14,9 @@
 * :mod:`.obs_trace` — query digests and per-table access counts recovered
   from the observability trace store, including carving of evicted span
   residue out of memory dumps (new surface; same pattern as §4/§5).
+* :mod:`.wal_reader` — frame-level decoding of the durable WAL segments:
+  the §3 modification timeline over *all* history (segments never evict),
+  checkpoint dirty-page tables, and what a recovery run itself discloses.
 """
 
 from .redo_undo import (
@@ -34,6 +37,15 @@ from .obs_trace import (
     parse_trace_store,
     recover_query_digests,
     recover_table_access_counts,
+)
+from .wal_reader import (
+    CheckpointView,
+    ParsedWalRecord,
+    parse_wal_segments,
+    read_checkpoint_state,
+    read_checkpoints,
+    reconstruct_wal_history,
+    recovery_exposure,
 )
 
 __all__ = [
@@ -59,4 +71,11 @@ __all__ = [
     "parse_trace_store",
     "recover_query_digests",
     "recover_table_access_counts",
+    "CheckpointView",
+    "ParsedWalRecord",
+    "parse_wal_segments",
+    "read_checkpoint_state",
+    "read_checkpoints",
+    "reconstruct_wal_history",
+    "recovery_exposure",
 ]

@@ -107,6 +107,10 @@ class ServerConfig:
     data_dir: Optional[str] = None
     #: Paged mode: frame eviction policy, "lru" or "clock".
     buffer_pool_policy: str = "lru"
+    #: WAL segment roll threshold (None = engine default, 1 MiB).
+    wal_segment_bytes: Optional[int] = None
+    #: fsync the active WAL segment on every group flush.
+    wal_sync: bool = True
 
 
 @dataclass(frozen=True)
@@ -144,6 +148,9 @@ class MySQLServer:
             heap=self.heap,
             trace_capacity=self.config.obs_trace_capacity,
         )
+        engine_wal_kwargs = {"wal_sync": self.config.wal_sync}
+        if self.config.wal_segment_bytes is not None:
+            engine_wal_kwargs["wal_segment_bytes"] = self.config.wal_segment_bytes
         if self.config.num_shards > 1:
             from .sharding import ShardedEngine
 
@@ -160,6 +167,7 @@ class MySQLServer:
                 storage=self.config.storage,
                 data_dir=self.config.data_dir,
                 buffer_pool_policy=self.config.buffer_pool_policy,
+                **engine_wal_kwargs,
             )
         else:
             self.engine = StorageEngine(
@@ -174,6 +182,7 @@ class MySQLServer:
                 storage=self.config.storage,
                 data_dir=self.config.data_dir,
                 buffer_pool_policy=self.config.buffer_pool_policy,
+                **engine_wal_kwargs,
             )
         self.catalog = Catalog()
         self.general_log = GeneralQueryLog(enabled=self.config.general_log_enabled)

@@ -226,6 +226,38 @@ class _CombinedBinlog:
         return sum(s.binlog.purge_before(timestamp) for s in self._shards)
 
 
+class _CombinedWal:
+    """Merged view of per-shard WAL managers.
+
+    Segment names are shard-qualified (``shard0/wal.00000001.log``) so a
+    snapshot of the combined surface reveals which shard wrote each byte —
+    the same shard-distribution leak as ``shard_log_sizes``, now durable.
+    """
+
+    def __init__(self, shards: List[StorageEngine]) -> None:
+        self._shards = shards
+
+    def segments(self) -> Dict[str, bytes]:
+        out: Dict[str, bytes] = {}
+        for idx, shard in enumerate(self._shards):
+            for name, data in shard.wal.segments().items():
+                out[f"shard{idx}/{name}"] = data
+        return out
+
+    def flush(self) -> int:
+        return sum(shard.wal.flush() for shard in self._shards)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        totals: Dict[str, object] = {}
+        for shard in self._shards:
+            for key, value in shard.wal.stats.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0) + value
+        totals["shards"] = len(self._shards)
+        return totals
+
+
 class _CombinedBufferPool:
     """Merged view of per-shard buffer pools."""
 
@@ -272,6 +304,8 @@ class ShardedEngine:
         storage: str = "memory",
         data_dir: Optional[str] = None,
         buffer_pool_policy: str = "lru",
+        wal_segment_bytes: Optional[int] = None,
+        wal_sync: bool = True,
     ) -> None:
         if num_shards < 2:
             raise EngineError(
@@ -289,11 +323,14 @@ class ShardedEngine:
             mvcc=mvcc,
             storage=storage,
             buffer_pool_policy=buffer_pool_policy,
+            wal_sync=wal_sync,
         )
         if redo_capacity is not None:
             kwargs["redo_capacity"] = redo_capacity
         if undo_capacity is not None:
             kwargs["undo_capacity"] = undo_capacity
+        if wal_segment_bytes is not None:
+            kwargs["wal_segment_bytes"] = wal_segment_bytes
         # Paged mode with an explicit data_dir: each shard gets its own
         # shard<i>/ subdirectory so page files never collide. With no
         # data_dir every shard creates (and later removes) a private
@@ -319,6 +356,9 @@ class ShardedEngine:
         self.undo_log = _CombinedLog(self._shards, "undo_log")
         self.binlog = _CombinedBinlog(self._shards)
         self.buffer_pool = _CombinedBufferPool(self._shards)
+        self.wal = _CombinedWal(self._shards)
+        #: Set by :func:`repro.wal.recovery.recover_sharded_engine`.
+        self.last_recovery_report = None
 
     # -- shard access ---------------------------------------------------------
 
@@ -484,6 +524,23 @@ class ShardedEngine:
     def close(self) -> None:
         for shard in self._shards:
             shard.close()
+
+    def simulate_crash(self) -> None:
+        """Kill every shard at this instant (failure-injection hook)."""
+        for shard in self._shards:
+            shard.simulate_crash()
+
+    def wal_segments(self) -> Dict[str, bytes]:
+        """Shard-qualified flushed WAL segments: ``shardN/wal.*.log``."""
+        return self.wal.segments()
+
+    def dirty_page_table(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Shard-qualified dirty-page table: ``(table@shardN, page, lsn)``."""
+        entries = []
+        for idx, shard in enumerate(self._shards):
+            for name, page_id, rec_lsn in shard.dirty_page_table():
+                entries.append((f"{name}@shard{idx}", page_id, rec_lsn))
+        return tuple(sorted(entries))
 
     def register_secondary_index(
         self,

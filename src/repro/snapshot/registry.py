@@ -233,10 +233,12 @@ def default_registry() -> ArtifactRegistry:
         from ..server import artifacts as server_artifacts
         from ..spark import artifacts as spark_artifacts
         from ..storage import artifacts as storage_artifacts
+        from ..wal import artifacts as wal_artifacts
 
         registry = ArtifactRegistry()
         registry.register_all(engine_artifacts.providers())
         registry.register_all(storage_artifacts.providers())
+        registry.register_all(wal_artifacts.providers())
         registry.register_all(server_artifacts.providers())
         registry.register_all(memory_artifacts.providers())
         registry.register_all(obs_artifacts.providers())

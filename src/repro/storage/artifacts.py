@@ -96,9 +96,10 @@ def providers() -> Tuple[ArtifactProvider, ...]:
             capture=_capture_checkpoint_lsn,
             enabled=_paged_storage,
             # The per-table checkpoint LSN anchors the E3-style
-            # LSN<->timestamp correlation: it dates the last flush even
-            # after the statements that produced it aged out of the logs.
-            forensic_reader="repro.forensics.binlog_reader.fit_lsn_timestamp_model",
+            # LSN<->timestamp correlation, and joined against the WAL's
+            # logged dirty-page tables it also exposes which pages were
+            # ahead of the headers at each checkpoint.
+            forensic_reader="repro.forensics.wal_reader.read_checkpoint_state",
         ),
         ArtifactProvider(
             name="live_buffer_pool",

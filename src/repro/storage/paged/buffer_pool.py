@@ -51,6 +51,7 @@ class Frame:
         "node",
         "pin_count",
         "dirty",
+        "rec_lsn",
         "access_count",
         "ref_bit",
     )
@@ -62,6 +63,10 @@ class Frame:
         self.node = node
         self.pin_count = 0
         self.dirty = False
+        #: LSN that first dirtied the page since its last write-back; the
+        #: WAL rule forces the log up to (at least) this before the page
+        #: may reach disk. 0 while clean.
+        self.rec_lsn = 0
         self.access_count = 0
         self.ref_bit = True
 
@@ -89,6 +94,11 @@ class BufferPoolManager:
     lsn_source:
         Zero-argument callable returning the engine LSN; stamped into each
         page header at write-back so on-disk images order deterministically.
+    log_flusher:
+        WAL-rule hook: called with a dirty frame's rec-LSN *before* that
+        frame is written back, so the log covering the change is durable
+        before the page is (``LogManager.flush_to``). ``None`` disables
+        the rule (standalone pools in tests).
     """
 
     DEFAULT_CAPACITY = 8192
@@ -98,6 +108,7 @@ class BufferPoolManager:
         capacity: int = DEFAULT_CAPACITY,
         policy: str = "lru",
         lsn_source: Optional[Callable[[], int]] = None,
+        log_flusher: Optional[Callable[[int], None]] = None,
         instrumentation=None,
     ) -> None:
         if capacity <= 0:
@@ -110,6 +121,7 @@ class BufferPoolManager:
                 f"unknown eviction policy {policy!r} (expected 'lru' or 'clock')"
             ) from None
         self._lsn_source = lsn_source
+        self._log_flusher = log_flusher
         if instrumentation is None:
             from ...obs.instrumentation import NO_OP_INSTRUMENTATION
 
@@ -170,7 +182,7 @@ class BufferPoolManager:
             )
         frame = self._install(file, node)
         frame.pin_count = 1
-        frame.dirty = True
+        self._note_dirty(frame)
         return frame
 
     def unpin(self, frame: Frame, dirty: bool = False) -> None:
@@ -180,10 +192,18 @@ class BufferPoolManager:
             )
         frame.pin_count -= 1
         if dirty:
-            frame.dirty = True
+            self._note_dirty(frame)
 
     def mark_dirty(self, frame: Frame) -> None:
-        frame.dirty = True
+        self._note_dirty(frame)
+
+    def _note_dirty(self, frame: Frame) -> None:
+        """Dirty a frame, stamping its rec-LSN on the clean→dirty edge."""
+        if not frame.dirty:
+            frame.dirty = True
+            frame.rec_lsn = (
+                self._lsn_source() if self._lsn_source is not None else 0
+            )
 
     def free_page(self, file: PageFile, page_id: int) -> None:
         """Discard a (possibly resident) page and put it on the free list.
@@ -268,8 +288,14 @@ class BufferPoolManager:
 
     def _writeback(self, frame: Frame) -> None:
         lsn = self._lsn_source() if self._lsn_source is not None else 0
+        # WAL rule: the log must be durable up to the page's LSN before the
+        # page image may reach disk, or a crash could persist a change whose
+        # log record was lost.
+        if self._log_flusher is not None:
+            self._log_flusher(lsn)
         frame.file.write_page(frame.page_id, frame.node.serialize(page_lsn=lsn))
         frame.dirty = False
+        frame.rec_lsn = 0
         self._writebacks += 1
         self._obs.count("buffer_pool.writebacks")
 
@@ -296,14 +322,15 @@ class BufferPoolManager:
                 flushed += 1
         return flushed
 
-    def checkpoint(self, lsn: Optional[int] = None) -> int:
+    def checkpoint(self) -> int:
         """Flush all dirty frames, then stamp + flush every file header.
 
         Returns the checkpoint LSN written into the tablespace headers —
         after this call the on-disk files are self-consistent up to it.
+        The LSN always comes from the engine's WAL clock (``lsn_source``);
+        the old ad-hoc ``lsn`` override is gone.
         """
-        if lsn is None:
-            lsn = self._lsn_source() if self._lsn_source is not None else 0
+        lsn = self._lsn_source() if self._lsn_source is not None else 0
         self.flush_all()
         for file in self._files.values():
             file.checkpoint_lsn = lsn
@@ -350,6 +377,17 @@ class BufferPoolManager:
             "resident": len(self._page_table),
             "pinned": self.pinned_frames,
         }
+
+    def dirty_page_table(self) -> Tuple[Tuple[str, int, int], ...]:
+        """The ARIES dirty-page table: ``(tablespace, page_id, rec_lsn)``
+        per dirty resident frame, sorted for determinism. Carried by every
+        checkpoint record so recovery knows how far back redo must reach."""
+        entries = []
+        for slot in self._page_table.values():
+            frame = self._frames[slot]
+            if frame.dirty:
+                entries.append((frame.file.name, frame.page_id, frame.rec_lsn))
+        return tuple(sorted(entries))
 
     def contains(self, space_id: int, page_id: int) -> bool:
         return (space_id, page_id) in self._page_table

@@ -341,6 +341,17 @@ class PageFile:
         self._file.close()
         self._closed = True
 
+    def crash_close(self) -> None:
+        """Drop the file as a killed process would: page writes that already
+        reached the file survive, but the dirty in-memory header is *not*
+        written back — the on-disk header stays at its last checkpoint
+        (stale roots / page counts are exactly what recovery must face)."""
+        if self._closed:
+            return
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PageFile(name={self.name!r}, space_id={self.space_id}, "

@@ -1,0 +1,79 @@
+"""WAL-layer snapshot artifacts: segments, dirty-page table, recovery.
+
+The unified WAL is deliberately registered as a first-class leakage
+surface in the spirit of the paper's Figure 1: flushed segments are
+persistent on-disk state a disk-theft attacker reads directly (and —
+unlike the circular in-memory logs — they never evict), the live
+dirty-page table is volatile engine state reachable only after code
+execution, and a restart-recovery report documents what the recovery
+pass itself disclosed about in-flight work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..server import MySQLServer
+from ..snapshot.registry import ArtifactProvider
+from ..snapshot.scenario import StateQuadrant
+
+
+def _capture_wal_segments(server: MySQLServer) -> Dict[str, bytes]:
+    # Polymorphic over StorageEngine / ShardedEngine (shard-qualified
+    # segment names, e.g. ``shard3/wal.00000001.log``).
+    return server.engine.wal_segments()
+
+
+def _capture_dirty_page_table(server: MySQLServer) -> Tuple:
+    return server.engine.dirty_page_table()
+
+
+def _capture_recovery_report(server: MySQLServer) -> Optional[Dict[str, object]]:
+    report = server.engine.last_recovery_report
+    return report.to_dict() if report is not None else None
+
+
+def _paged_storage(server: MySQLServer) -> bool:
+    return getattr(server.engine, "storage_mode", "memory") == "paged"
+
+
+def _was_recovered(server: MySQLServer) -> bool:
+    return getattr(server.engine, "last_recovery_report", None) is not None
+
+
+def providers() -> Tuple[ArtifactProvider, ...]:
+    """The WAL layer's registered leakage surfaces."""
+    return (
+        ArtifactProvider(
+            name="wal_segments",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_wal_segments,
+            spec_sinks=("redo_log", "undo_log"),
+            # The durable superset of the §3 circular-log surface: frames
+            # never evict, so reconstruction reaches arbitrarily far back.
+            forensic_reader="repro.forensics.wal_reader.parse_wal_segments",
+        ),
+        ArtifactProvider(
+            name="dirty_page_table",
+            backend="mysql",
+            quadrant=StateQuadrant.VOLATILE_DB,
+            artifact_class="data_structures",
+            capture=_capture_dirty_page_table,
+            enabled=_paged_storage,
+            requires_escalation=True,
+            # (table, page, rec-LSN) triples date each pending write-back;
+            # checkpoints also persist them into the WAL (read_checkpoints).
+            forensic_reader="repro.forensics.wal_reader.read_checkpoints",
+        ),
+        ArtifactProvider(
+            name="recovery_report",
+            backend="mysql",
+            quadrant=StateQuadrant.PERSISTENT_DB,
+            artifact_class="logs",
+            capture=_capture_recovery_report,
+            enabled=_was_recovered,
+            forensic_reader="repro.forensics.wal_reader.recovery_exposure",
+        ),
+    )

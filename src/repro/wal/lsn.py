@@ -1,0 +1,40 @@
+"""Log sequence numbers.
+
+InnoDB's LSN is a byte offset into the logical redo stream; it only grows.
+The paper's Section 3 timestamp-correlation attack exploits exactly this:
+the binlog pairs (timestamp, LSN) at commit points, and the rate of LSN
+growth lets an attacker date redo/undo entries that have already aged out of
+the binlog window.
+
+The counter lives here (not in :mod:`repro.engine`) because the unified WAL
+owns it: redo and undo records consume LSN space byte-for-byte, while
+control records (txn begin/commit/abort, checkpoints, CLRs) are stamped with
+the current LSN but consume none — keeping the logical redo stream, and
+every artifact derived from it, byte-identical to the pre-WAL engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import LogError
+
+
+class LsnCounter:
+    """Monotone byte-offset counter shared by the redo and undo logs."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise LogError(f"LSN must be non-negative, got {start}")
+        self._lsn = start
+
+    @property
+    def current(self) -> int:
+        """The next LSN to be assigned."""
+        return self._lsn
+
+    def advance(self, num_bytes: int) -> int:
+        """Consume ``num_bytes`` of log space; return the record's start LSN."""
+        if num_bytes <= 0:
+            raise LogError(f"LSN advance must be positive, got {num_bytes}")
+        start = self._lsn
+        self._lsn += num_bytes
+        return start

@@ -1,0 +1,280 @@
+"""WAL record types and the on-disk frame format.
+
+Every WAL record is framed as::
+
+    lsn(8) || body_len(4) || crc32(4) || type(1) || body
+
+little-endian, with ``crc32`` computed over ``type || body``. The checksum
+makes torn tails self-describing: a crash mid-append leaves a frame whose
+CRC does not verify, and :func:`parse_frames` (tolerant mode) stops there —
+exactly how recovery finds the end of the usable log.
+
+Redo and undo bodies are the byte-identical serializations the circular
+in-memory logs always used (:meth:`RedoRecord.to_bytes`), so the logical
+redo stream — and the paper's §3 forensics over it — is unchanged by the
+WAL refactor. Control records (txn lifecycle, checkpoints, CLRs) are new:
+they are stamped with the current LSN but advance it by zero bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from ..errors import LogError, WalError
+from ..util.serialization import (
+    decode_bytes,
+    decode_str,
+    encode_bytes,
+    encode_str,
+    encode_uint,
+    read_uint,
+)
+
+_OPS = ("insert", "update", "delete")
+
+
+class WalRecordType(IntEnum):
+    """Discriminator byte for WAL frame bodies."""
+
+    REDO = 1  #: row after-image; advances the LSN by len(body)
+    UNDO = 2  #: row before-image; advances the LSN by len(body)
+    CLR = 3  #: compensation record (redo-format inverse op); advances 0
+    TXN_BEGIN = 4  #: transaction start; advances 0
+    TXN_COMMIT = 5  #: transaction commit — the durability point; advances 0
+    TXN_ABORT = 6  #: transaction rolled back (all CLRs written); advances 0
+    CHECKPOINT = 7  #: fuzzy checkpoint w/ dirty-page table; advances 0
+    TABLE_REGISTER = 8  #: DDL: table creation, in original order; advances 0
+
+
+#: Frame header: lsn u64 | body_len u32 | crc u32 | type u8.
+FRAME_HEADER = struct.Struct("<QIIB")
+
+
+@dataclass(frozen=True)
+class RedoRecord:
+    """One redo entry: the after-image of a row change.
+
+    ``after_image`` is the serialized row after the change (empty for a
+    delete, which has no after state).
+    """
+
+    txn_id: int
+    table: str
+    op: str
+    key: int
+    after_image: bytes
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise LogError(f"unknown redo op {self.op!r}")
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                encode_uint(self.txn_id, 8),
+                encode_str(self.table),
+                encode_str(self.op),
+                encode_uint(self.key & 0xFFFFFFFFFFFFFFFF, 8),
+                encode_bytes(self.after_image),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[RedoRecord, int]":
+        txn_id, offset = read_uint(data, offset, 8)
+        table, offset = decode_str(data, offset)
+        op, offset = decode_str(data, offset)
+        key_u, offset = read_uint(data, offset, 8)
+        key = key_u - (1 << 64) if key_u >= (1 << 63) else key_u
+        after_image, offset = decode_bytes(data, offset)
+        return cls(txn_id, table, op, key, after_image), offset
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """One undo entry: the before-image of a row change.
+
+    ``before_image`` is the serialized row before the change (empty for an
+    insert, which had no prior state).
+    """
+
+    txn_id: int
+    table: str
+    op: str
+    key: int
+    before_image: bytes
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise LogError(f"unknown undo op {self.op!r}")
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                encode_uint(self.txn_id, 8),
+                encode_str(self.table),
+                encode_str(self.op),
+                encode_uint(self.key & 0xFFFFFFFFFFFFFFFF, 8),
+                encode_bytes(self.before_image),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[UndoRecord, int]":
+        txn_id, offset = read_uint(data, offset, 8)
+        table, offset = decode_str(data, offset)
+        op, offset = decode_str(data, offset)
+        key_u, offset = read_uint(data, offset, 8)
+        key = key_u - (1 << 64) if key_u >= (1 << 63) else key_u
+        before_image, offset = decode_bytes(data, offset)
+        return cls(txn_id, table, op, key, before_image), offset
+
+
+@dataclass(frozen=True)
+class CheckpointBody:
+    """A fuzzy checkpoint: where recovery's analysis pass could start.
+
+    ``dirty_pages`` is the buffer pool's dirty-page table at checkpoint
+    time — ``(tablespace_name, page_id, rec_lsn)`` per dirty frame, where
+    ``rec_lsn`` is the LSN that first dirtied the page. ``active_txns`` are
+    the transaction ids in flight (potential losers).
+    """
+
+    checkpoint_lsn: int
+    dirty_pages: Tuple[Tuple[str, int, int], ...]
+    active_txns: Tuple[int, ...]
+
+    def to_bytes(self) -> bytes:
+        parts = [
+            encode_uint(self.checkpoint_lsn, 8),
+            encode_uint(len(self.active_txns)),
+        ]
+        for txn_id in self.active_txns:
+            parts.append(encode_uint(txn_id, 8))
+        parts.append(encode_uint(len(self.dirty_pages)))
+        for name, page_id, rec_lsn in self.dirty_pages:
+            parts.append(encode_str(name))
+            parts.append(encode_uint(page_id))
+            parts.append(encode_uint(rec_lsn, 8))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> "tuple[CheckpointBody, int]":
+        checkpoint_lsn, offset = read_uint(data, offset, 8)
+        n_active, offset = read_uint(data, offset)
+        active = []
+        for _ in range(n_active):
+            txn_id, offset = read_uint(data, offset, 8)
+            active.append(txn_id)
+        n_dirty, offset = read_uint(data, offset)
+        dirty = []
+        for _ in range(n_dirty):
+            name, offset = decode_str(data, offset)
+            page_id, offset = read_uint(data, offset)
+            rec_lsn, offset = read_uint(data, offset, 8)
+            dirty.append((name, page_id, rec_lsn))
+        return cls(checkpoint_lsn, tuple(dirty), tuple(active)), offset
+
+
+@dataclass(frozen=True)
+class WalFrame:
+    """One parsed WAL frame: ``(lsn, type, body)`` plus its segment offset."""
+
+    lsn: int
+    rtype: WalRecordType
+    body: bytes
+    offset: int
+
+    def decode(self):
+        """Decode the body into its structured record (or plain value)."""
+        if self.rtype in (WalRecordType.REDO, WalRecordType.CLR):
+            record, _ = RedoRecord.from_bytes(self.body)
+            return record
+        if self.rtype is WalRecordType.UNDO:
+            record, _ = UndoRecord.from_bytes(self.body)
+            return record
+        if self.rtype in (
+            WalRecordType.TXN_BEGIN,
+            WalRecordType.TXN_COMMIT,
+            WalRecordType.TXN_ABORT,
+        ):
+            txn_id, _ = read_uint(self.body, 0, 8)
+            return txn_id
+        if self.rtype is WalRecordType.CHECKPOINT:
+            body, _ = CheckpointBody.from_bytes(self.body)
+            return body
+        if self.rtype is WalRecordType.TABLE_REGISTER:
+            name, _ = decode_str(self.body, 0)
+            return name
+        raise WalError(f"cannot decode WAL record type {self.rtype!r}")
+
+    @property
+    def lsn_advance(self) -> int:
+        """How many LSN bytes this frame consumed (0 for control records)."""
+        if self.rtype in (WalRecordType.REDO, WalRecordType.UNDO):
+            return len(self.body)
+        return 0
+
+
+def txn_body(txn_id: int) -> bytes:
+    """Body of a TXN_BEGIN / TXN_COMMIT / TXN_ABORT frame."""
+    return encode_uint(txn_id, 8)
+
+
+def table_register_body(name: str) -> bytes:
+    """Body of a TABLE_REGISTER frame."""
+    return encode_str(name)
+
+
+def pack_frame(lsn: int, rtype: WalRecordType, body: bytes) -> bytes:
+    """Frame ``body`` for the on-disk segment, checksummed over type+body."""
+    crc = zlib.crc32(bytes([rtype]) + body) & 0xFFFFFFFF
+    return FRAME_HEADER.pack(lsn, len(body), crc, rtype) + body
+
+
+def parse_frames(
+    data: bytes, *, strict: bool = True
+) -> Tuple[List[WalFrame], Optional[str]]:
+    """Walk one segment's bytes into frames.
+
+    Returns ``(frames, error)``. In strict mode any truncation, CRC
+    mismatch, or unknown type raises :class:`WalError`; in tolerant mode
+    parsing stops at the first bad frame (a torn tail after a crash) and
+    ``error`` describes it.
+    """
+    frames: List[WalFrame] = []
+    offset = 0
+    header_size = FRAME_HEADER.size
+    while offset < len(data):
+        if offset + header_size > len(data):
+            error = f"truncated frame header at offset {offset}"
+            if strict:
+                raise WalError(error)
+            return frames, error
+        lsn, body_len, crc, type_byte = FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + header_size
+        if body_start + body_len > len(data):
+            error = f"truncated frame body at offset {offset}"
+            if strict:
+                raise WalError(error)
+            return frames, error
+        body = data[body_start : body_start + body_len]
+        if zlib.crc32(bytes([type_byte]) + body) & 0xFFFFFFFF != crc:
+            error = f"checksum mismatch at offset {offset}"
+            if strict:
+                raise WalError(error)
+            return frames, error
+        try:
+            rtype = WalRecordType(type_byte)
+        except ValueError:
+            error = f"unknown record type {type_byte} at offset {offset}"
+            if strict:
+                raise WalError(error) from None
+            return frames, error
+        frames.append(WalFrame(lsn, rtype, body, offset))
+        offset = body_start + body_len
+    return frames, None

@@ -1,0 +1,409 @@
+"""ARIES-style restart recovery over the unified WAL.
+
+Given a data directory left behind by a crashed paged engine
+(:meth:`~repro.engine.engine.StorageEngine.simulate_crash`, or any kill at
+an arbitrary point), :func:`recover_engine` brings up a fresh engine whose
+state is byte-equivalent to the committed prefix of the crashed run:
+
+1. **Analysis** — walk every WAL segment (tolerating a torn tail),
+   collecting the table-registration order, the last checkpoint (with its
+   dirty-page table), per-transaction outcomes, and the loser set
+   (transactions with records but neither COMMIT nor ABORT).
+2. **Torn-page scan** — checksum-verify every ``*.ibd`` tablespace. Files
+   are then moved aside to ``<name>.ibd.crashed`` (kept as forensic
+   residue, not deleted — the paper's point is precisely that this data
+   survives) and the engine is rebuilt from the log.
+3. **Redo** — "repeat history": apply every REDO *and* CLR frame in log
+   order through the paged tables, idempotently. CLRs written by live
+   rollbacks replay the compensation too, so aborted transactions come out
+   reverted without restart-side special cases.
+4. **Undo** — walk losers' UNDO before-images in reverse log order and
+   revert them (insert→delete, update→restore, delete→reinsert). The
+   engine's first-writer-wins MVCC guarantees no committed transaction
+   wrote a loser's key afterwards, so before-image undo is exact.
+5. **Checkpoint** — the recovered engine checkpoints, making the rebuilt
+   tablespaces durable and starting a fresh WAL epoch *after* the replayed
+   history (the LSN continues from the crashed run's end; no LSN is ever
+   reused).
+
+Why always a full rebuild (no "replay since checkpoint onto existing
+files" fast path): the WAL is *logical* (row-level) while write-back is
+*physical* and in-place. After a crash, on-disk headers hold checkpoint-old
+roots while some post-checkpoint page images may already be written — a
+walkable-but-wrong tree that checksums clean. Physical redo would need
+page-level logging; repeating logical history from LSN 0 is sound and is
+what this module does.
+
+This module imports the engine lazily inside functions —
+:mod:`repro.wal` stays import-free of :mod:`repro.engine` at module level.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import PageError, RecoveryError, StorageError
+from .records import CheckpointBody, RedoRecord, UndoRecord, WalFrame, WalRecordType
+
+_CRASHED_SUFFIX = ".crashed"
+
+
+@dataclass
+class RecoveryReport:
+    """What one restart recovery saw and did (the ``recovery_report``
+    snapshot artifact — recovery itself is a leakage event: it decodes
+    and re-applies every plaintext row image in the log)."""
+
+    data_dir: str
+    segments_scanned: int = 0
+    records_scanned: int = 0
+    truncated_tail: Optional[str] = None
+    last_checkpoint_lsn: int = -1
+    dirty_pages_at_checkpoint: Tuple[Tuple[str, int, int], ...] = ()
+    torn_pages: Tuple[Tuple[str, int], ...] = ()
+    unreadable_tablespaces: Tuple[str, ...] = ()
+    tables: Tuple[str, ...] = ()
+    committed_txns: Tuple[int, ...] = ()
+    aborted_txns: Tuple[int, ...] = ()
+    loser_txns: Tuple[int, ...] = ()
+    clr_records: int = 0
+    redo_applied: int = 0
+    undo_applied: int = 0
+    end_lsn: int = 0
+    shard_reports: List["RecoveryReport"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "data_dir": self.data_dir,
+            "segments_scanned": self.segments_scanned,
+            "records_scanned": self.records_scanned,
+            "truncated_tail": self.truncated_tail or "",
+            "last_checkpoint_lsn": self.last_checkpoint_lsn,
+            "dirty_pages_at_checkpoint": list(self.dirty_pages_at_checkpoint),
+            "torn_pages": list(self.torn_pages),
+            "unreadable_tablespaces": list(self.unreadable_tablespaces),
+            "tables": list(self.tables),
+            "committed_txns": list(self.committed_txns),
+            "aborted_txns": list(self.aborted_txns),
+            "loser_txns": list(self.loser_txns),
+            "clr_records": self.clr_records,
+            "redo_applied": self.redo_applied,
+            "undo_applied": self.undo_applied,
+            "end_lsn": self.end_lsn,
+            "shard_reports": [r.to_dict() for r in self.shard_reports],
+        }
+
+
+@dataclass
+class _Analysis:
+    """Outcome of the analysis pass over all WAL frames."""
+
+    frames: List[WalFrame]
+    tables: List[str]
+    checkpoint: Optional[CheckpointBody]
+    committed: Set[int]
+    aborted: Set[int]
+    losers: Set[int]
+    clr_count: int
+    truncated_tail: Optional[str]
+
+
+def _read_segments(wal_dir: str) -> Tuple[List[Tuple[str, bytes]], int]:
+    """All segment files under ``wal_dir``, name-sorted (= append order)."""
+    if not os.path.isdir(wal_dir):
+        return [], 0
+    names = sorted(
+        f
+        for f in os.listdir(wal_dir)
+        if f.startswith("wal.") and f.endswith(".log")
+    )
+    out = []
+    for name in names:
+        with open(os.path.join(wal_dir, name), "rb") as fh:
+            out.append((name, fh.read()))
+    return out, len(names)
+
+
+def _analyze(wal_dir: str) -> Tuple[_Analysis, int]:
+    """ARIES pass 1: scan the log, classify transactions, find the last
+    checkpoint. Returns the analysis plus the segment count scanned."""
+    from .records import parse_frames
+
+    segments, n_segments = _read_segments(wal_dir)
+    frames: List[WalFrame] = []
+    truncated: Optional[str] = None
+    for i, (name, data) in enumerate(segments):
+        seg_frames, error = parse_frames(data, strict=False)
+        if error is not None:
+            if i != len(segments) - 1:
+                raise RecoveryError(
+                    f"corrupt interior WAL segment {name}: {error} "
+                    "(only the final segment may carry a torn tail)"
+                )
+            truncated = f"{name}: {error}"
+        frames.extend(seg_frames)
+    tables: List[str] = []
+    checkpoint: Optional[CheckpointBody] = None
+    seen: Set[int] = set()
+    committed: Set[int] = set()
+    aborted: Set[int] = set()
+    clr_count = 0
+    for frame in frames:
+        if frame.rtype is WalRecordType.TABLE_REGISTER:
+            name = frame.decode()
+            if name not in tables:
+                tables.append(name)
+        elif frame.rtype is WalRecordType.CHECKPOINT:
+            checkpoint = frame.decode()
+        elif frame.rtype is WalRecordType.TXN_BEGIN:
+            seen.add(frame.decode())
+        elif frame.rtype is WalRecordType.TXN_COMMIT:
+            committed.add(frame.decode())
+        elif frame.rtype is WalRecordType.TXN_ABORT:
+            aborted.add(frame.decode())
+        elif frame.rtype in (WalRecordType.REDO, WalRecordType.UNDO):
+            seen.add(frame.decode().txn_id)
+        elif frame.rtype is WalRecordType.CLR:
+            clr_count += 1
+            seen.add(frame.decode().txn_id)
+    losers = seen - committed - aborted
+    return (
+        _Analysis(
+            frames=frames,
+            tables=tables,
+            checkpoint=checkpoint,
+            committed=committed,
+            aborted=aborted,
+            losers=losers,
+            clr_count=clr_count,
+            truncated_tail=truncated,
+        ),
+        n_segments,
+    )
+
+
+def _scan_damage(
+    data_dir: str, tables: List[str]
+) -> Tuple[List[Tuple[str, int]], List[str]]:
+    """Checksum-verify every tablespace; classify torn pages / dead files.
+
+    Torn-page detection rides the existing 32-byte page headers: a page
+    whose CRC does not match its payload was half-written at the crash.
+    """
+    from ..storage.paged.page_file import PageFile
+
+    torn: List[Tuple[str, int]] = []
+    unreadable: List[str] = []
+    for name in tables:
+        path = os.path.join(data_dir, f"{name}.ibd")
+        if not os.path.exists(path):
+            continue
+        try:
+            pf = PageFile(path, name)
+        except (PageError, StorageError, OSError):
+            unreadable.append(name)
+            continue
+        try:
+            # Page 0 (the FSP header) was already checksum-read by the
+            # constructor; a torn header lands in ``unreadable`` above.
+            for page_id in range(1, pf.num_pages):
+                try:
+                    pf.read_page(page_id)
+                except PageError:
+                    torn.append((name, page_id))
+        finally:
+            pf.close()
+    return torn, unreadable
+
+
+def _move_aside(data_dir: str, tables: List[str]) -> None:
+    """Park the crashed tablespace files as ``*.ibd.crashed`` residue."""
+    for name in tables:
+        path = os.path.join(data_dir, f"{name}.ibd")
+        if os.path.exists(path):
+            os.replace(path, path + _CRASHED_SUFFIX)
+
+
+def _apply_redo(table, record: RedoRecord) -> None:
+    """Idempotent 'repeat history' application of one redo/CLR record."""
+    existing, _ = table.get(record.key)
+    if record.op == "insert":
+        if existing is None:
+            table.insert(record.key, record.after_image)
+        else:
+            table.update(record.key, record.after_image)
+    elif record.op == "update":
+        if existing is None:
+            table.insert(record.key, record.after_image)
+        else:
+            table.update(record.key, record.after_image)
+    elif record.op == "delete":
+        if existing is not None:
+            table.delete(record.key)
+
+
+def _apply_undo(table, record: UndoRecord) -> bool:
+    """Revert one loser change using its before-image; True if it acted."""
+    existing, _ = table.get(record.key)
+    if record.op == "insert":
+        if existing is not None:
+            table.delete(record.key)
+            return True
+        return False
+    if record.op == "update":
+        if existing is not None:
+            table.update(record.key, record.before_image)
+        else:
+            table.insert(record.key, record.before_image)
+        return True
+    if record.op == "delete":
+        if existing is None:
+            table.insert(record.key, record.before_image)
+            return True
+        return False
+    return False  # pragma: no cover - ops validated at record creation
+
+
+def recover_engine(data_dir: str, **engine_kwargs):
+    """Recover a crashed paged engine from ``data_dir``; returns a fresh,
+    open :class:`~repro.engine.engine.StorageEngine` with
+    ``last_recovery_report`` attached.
+
+    ``engine_kwargs`` are forwarded to the new engine (capacities, policy,
+    ``wal_sync`` ...). ``storage``/``data_dir`` are fixed by recovery.
+
+    Note: rows loaded via :meth:`StorageEngine.bulk_load` bypass the WAL by
+    design (a loader fast path, as in real engines) and are therefore not
+    recoverable by log replay — load, then checkpoint, before relying on
+    crash recovery.
+    """
+    from ..engine.engine import StorageEngine
+
+    if "storage" in engine_kwargs:
+        raise RecoveryError("recover_engine sets 'storage' itself")
+    wal_dir = os.path.join(data_dir, "wal")
+    analysis, n_segments = _analyze(wal_dir)
+    report = RecoveryReport(data_dir=data_dir)
+    report.segments_scanned = n_segments
+    report.records_scanned = len(analysis.frames)
+    report.truncated_tail = analysis.truncated_tail
+    report.tables = tuple(analysis.tables)
+    report.committed_txns = tuple(sorted(analysis.committed))
+    report.aborted_txns = tuple(sorted(analysis.aborted))
+    report.loser_txns = tuple(sorted(analysis.losers))
+    report.clr_records = analysis.clr_count
+    if analysis.checkpoint is not None:
+        report.last_checkpoint_lsn = analysis.checkpoint.checkpoint_lsn
+        report.dirty_pages_at_checkpoint = analysis.checkpoint.dirty_pages
+
+    torn, unreadable = _scan_damage(data_dir, analysis.tables)
+    report.torn_pages = tuple(torn)
+    report.unreadable_tablespaces = tuple(unreadable)
+    _move_aside(data_dir, analysis.tables)
+
+    engine = StorageEngine(storage="paged", data_dir=data_dir, **engine_kwargs)
+    # Repeat history under replay: re-registration and replayed changes
+    # must not append fresh WAL (the log already records them); the
+    # resumed LogManager carries the crashed run's frames forward.
+    with engine.wal.replaying():
+        for name in analysis.tables:
+            engine.register_table(name)
+        tables = {name: engine.btree(name) for name in analysis.tables}
+        for frame in analysis.frames:
+            if frame.rtype in (WalRecordType.REDO, WalRecordType.CLR):
+                record = frame.decode()
+                table = tables.get(record.table)
+                if table is None:
+                    continue
+                _apply_redo(table, record)
+                report.redo_applied += 1
+        for frame in reversed(analysis.frames):
+            if frame.rtype is not WalRecordType.UNDO:
+                continue
+            record = frame.decode()
+            if record.txn_id not in analysis.losers:
+                continue
+            table = tables.get(record.table)
+            if table is None:
+                continue
+            if _apply_undo(table, record):
+                report.undo_applied += 1
+    engine.checkpoint()
+    report.end_lsn = engine.lsn.current
+    engine.last_recovery_report = report
+    return engine
+
+
+def recover_sharded_engine(data_dir: str, num_shards: int, **engine_kwargs):
+    """Recover every ``shard<i>/`` subdirectory, then bring up a fresh
+    :class:`~repro.server.sharding.ShardedEngine` over the recovered files.
+
+    Per-shard recovery is independent (each shard has its own WAL); the
+    combined report nests the shard reports in shard order.
+    """
+    from ..server.sharding import SPACE_ID_STRIDE, ShardedEngine
+
+    shard_reports: List[RecoveryReport] = []
+    all_tables: List[str] = []
+    for i in range(num_shards):
+        shard_dir = os.path.join(data_dir, f"shard{i}")
+        if not os.path.isdir(shard_dir):
+            raise RecoveryError(f"missing shard directory {shard_dir}")
+        engine = recover_engine(
+            shard_dir, space_id_base=i * SPACE_ID_STRIDE, **engine_kwargs
+        )
+        for name in engine.last_recovery_report.tables:
+            if name not in all_tables:
+                all_tables.append(name)
+        shard_reports.append(engine.last_recovery_report)
+        engine.close()
+    sharded = ShardedEngine(
+        num_shards=num_shards,
+        storage="paged",
+        data_dir=data_dir,
+        **engine_kwargs,
+    )
+    with _sharded_replaying(sharded):
+        for name in all_tables:
+            sharded.register_table(name)
+    report = RecoveryReport(data_dir=data_dir)
+    report.tables = tuple(all_tables)
+    report.shard_reports = shard_reports
+    report.segments_scanned = sum(r.segments_scanned for r in shard_reports)
+    report.records_scanned = sum(r.records_scanned for r in shard_reports)
+    report.redo_applied = sum(r.redo_applied for r in shard_reports)
+    report.undo_applied = sum(r.undo_applied for r in shard_reports)
+    report.clr_records = sum(r.clr_records for r in shard_reports)
+    report.torn_pages = tuple(
+        (f"{t}@shard{i}", p)
+        for i, r in enumerate(shard_reports)
+        for t, p in r.torn_pages
+    )
+    report.loser_txns = tuple(
+        sorted(set().union(*(set(r.loser_txns) for r in shard_reports)))
+    )
+    report.committed_txns = tuple(
+        sorted(set().union(*(set(r.committed_txns) for r in shard_reports)))
+    )
+    report.end_lsn = max(r.end_lsn for r in shard_reports)
+    sharded.last_recovery_report = report
+    return sharded
+
+
+class _sharded_replaying:
+    """Context manager putting every shard's WAL into replay mode at once."""
+
+    def __init__(self, sharded) -> None:
+        self._contexts = [shard.wal.replaying() for shard in sharded.shards]
+
+    def __enter__(self):
+        for ctx in self._contexts:
+            ctx.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        for ctx in self._contexts:
+            ctx.__exit__(*exc)
+        return False

@@ -85,6 +85,52 @@ class TestDiffFile:
         assert "skipping" in capsys.readouterr().out
 
 
+class TestWrite:
+    def test_fresh_values_win(self, tmp_path, fake_baseline):
+        fresh = {"insert": dict(BASELINE["insert"], ops_per_sec=2000.0)}
+        path = write_bench(tmp_path, fresh)
+        bench_diff.write_file(path, "HEAD")
+        data = json.loads(path.read_text())
+        assert data["insert"]["ops_per_sec"] == 2000.0
+
+    def test_committed_only_record_preserved(self, tmp_path, fake_baseline):
+        # A partial run (e.g. only the scan suite on this machine) must
+        # not delete the committed insert record.
+        path = write_bench(tmp_path, {"scan": {"ops_per_sec": 5.0}})
+        bench_diff.write_file(path, "HEAD")
+        data = json.loads(path.read_text())
+        assert data["scan"]["ops_per_sec"] == 5.0
+        assert data["insert"] == BASELINE["insert"]
+
+    def test_committed_only_key_preserved(self, tmp_path, fake_baseline):
+        fresh = {"insert": {"ops_per_sec": 900.0}}
+        path = write_bench(tmp_path, fresh)
+        bench_diff.write_file(path, "HEAD")
+        data = json.loads(path.read_text())
+        assert data["insert"]["ops_per_sec"] == 900.0
+        assert data["insert"]["warm_ms"] == 12.0
+
+    def test_output_normalised(self, tmp_path, fake_baseline):
+        path = write_bench(tmp_path, BASELINE)
+        bench_diff.write_file(path, "HEAD")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_no_committed_baseline(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench_diff, "committed_json", lambda path, ref: None)
+        path = write_bench(tmp_path, BASELINE)
+        bench_diff.write_file(path, "HEAD")
+        assert json.loads(path.read_text()) == BASELINE
+
+    def test_main_write_exits_zero_on_drift(self, tmp_path, fake_baseline, capsys):
+        fresh = {"insert": dict(BASELINE["insert"], ops_per_sec=1.0)}
+        path = write_bench(tmp_path, fresh)
+        assert bench_diff.main(["--write", str(path)]) == 0
+        assert "refreshed" in capsys.readouterr().out
+        assert json.loads(path.read_text())["insert"]["ops_per_sec"] == 1.0
+
+
 class TestMain:
     def test_exit_one_on_dropped_key(self, tmp_path, fake_baseline, capsys):
         fresh = {"insert": {k: v for k, v in BASELINE["insert"].items()

@@ -124,6 +124,122 @@ class TestEviction:
             BufferPoolManager(capacity=4, policy="mru")
 
 
+class TestEvictionCornerCases:
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_all_frames_pinned_exact_error(self, policy):
+        capacity = 4
+        pool = BufferPoolManager(capacity=capacity, policy=policy)
+        file = make_file()
+        pinned = [new_leaf(pool, file, [(i, b"p")]) for i in range(capacity)]
+        with pytest.raises(
+            BufferPoolError,
+            match=f"all {capacity} frames are pinned; cannot evict",
+        ):
+            new_leaf(pool, file, [(99, b"q")])
+        # The failed install must not corrupt the pool: every original
+        # frame is still resident and still holds its single pin.
+        assert pool.stats["resident"] == capacity
+        assert pool.stats["pinned"] == capacity
+        for frame in pinned:
+            assert frame.pin_count == 1
+            pool.unpin(frame, dirty=True)
+
+    def test_clock_hand_wraps_and_second_chances(self):
+        # 8-frame budget, all resident frames with their reference bit
+        # set: the hand's first full sweep may only clear bits, so the
+        # victim is found on the wraparound sweep — and it is the frame
+        # the hand started at, not an arbitrary one.
+        pool = BufferPoolManager(capacity=8, policy="clock")
+        file = make_file()
+        pids = []
+        for i in range(8):
+            frame = new_leaf(pool, file, [(i, b"w")])
+            pids.append(frame.page_id)
+            pool.unpin(frame, dirty=True)
+        for frame in pool.frames():
+            assert frame.ref_bit  # install leaves the bit set
+        extra = new_leaf(pool, file, [(99, b"q")])
+        pool.unpin(extra, dirty=True)
+        # The hand started at slot 0; two sweeps later slot 0's frame
+        # (the first page) is the evicted victim.
+        assert not pool.contains(file.space_id, pids[0])
+        assert pool.stats["resident"] == 8
+        assert pool.stats["evictions"] == 1
+        # Survivors had their reference bit cleared by the first sweep.
+        survivors = [f for f in pool.frames() if f.page_id != extra.page_id]
+        assert all(not f.ref_bit for f in survivors)
+
+    def test_clock_hand_skips_pinned_on_wraparound(self):
+        pool = BufferPoolManager(capacity=8, policy="clock")
+        file = make_file()
+        held = new_leaf(pool, file, [(0, b"held")])  # slot 0, stays pinned
+        pids = [held.page_id]
+        for i in range(1, 8):
+            frame = new_leaf(pool, file, [(i, b"w")])
+            pids.append(frame.page_id)
+            pool.unpin(frame, dirty=True)
+        extra = new_leaf(pool, file, [(99, b"q")])
+        pool.unpin(extra, dirty=True)
+        # The pinned frame at the hand's starting slot survives; the next
+        # unpinned frame in ring order is the one evicted.
+        assert pool.contains(file.space_id, pids[0])
+        assert not pool.contains(file.space_id, pids[1])
+        pool.unpin(held, dirty=True)
+
+    def test_wal_rule_log_flushed_before_page_write(self):
+        # Regression for the WAL rule: the log_flusher hook must run
+        # (and be given a covering LSN) strictly before the dirty page's
+        # bytes reach the file — on eviction, flush, and checkpoint alike.
+        events = []
+        lsn = [100]
+        pool = BufferPoolManager(
+            capacity=4,
+            lsn_source=lambda: lsn[0],
+            log_flusher=lambda up_to: events.append(("log_flush", up_to)),
+        )
+        file = make_file()
+        real_write = file.write_page
+
+        def recording_write(page_id, image):
+            events.append(("page_write", page_id))
+            return real_write(page_id, image)
+
+        file.write_page = recording_write
+
+        frame = new_leaf(pool, file, [(1, b"v")])
+        assert frame.rec_lsn == 100  # stamped on the clean->dirty edge
+        lsn[0] = 250
+        pool.unpin(frame, dirty=True)
+        pool.flush_page(file, frame.page_id)
+
+        assert [kind for kind, _ in events] == ["log_flush", "page_write"]
+        flushed_to = events[0][1]
+        assert flushed_to >= frame.rec_lsn or frame.rec_lsn == 0
+        assert flushed_to == 250  # covers everything up to the write-back
+        assert not frame.dirty and frame.rec_lsn == 0
+
+        # Checkpoint obeys the same ordering for every dirty frame.
+        events.clear()
+        pool.mark_dirty(frame)
+        pool.checkpoint()
+        kinds = [kind for kind, _ in events]
+        assert kinds.index("log_flush") < kinds.index("page_write")
+
+    def test_rec_lsn_sticks_to_first_dirtier(self):
+        # Re-dirtying an already-dirty frame must not advance rec_lsn:
+        # redo has to reach back to the *first* unflushed change.
+        lsn = [7]
+        pool = BufferPoolManager(capacity=4, lsn_source=lambda: lsn[0])
+        file = make_file()
+        frame = new_leaf(pool, file, [(1, b"v")])
+        assert frame.rec_lsn == 7
+        lsn[0] = 90
+        pool.mark_dirty(frame)
+        assert frame.rec_lsn == 7
+        assert pool.dirty_page_table() == ((file.name, frame.page_id, 7),)
+        pool.unpin(frame, dirty=True)
+
+
 class TestFlushAndCheckpoint:
     def test_flush_all_clears_dirty(self):
         pool = BufferPoolManager(capacity=8)

@@ -25,6 +25,7 @@ STORAGE_DEPENDENT = (
     "tablespace_file",
     "page_free_list",
     "checkpoint_lsn",
+    "dirty_page_table",
     "memory_dump",
 )
 

@@ -1,0 +1,394 @@
+"""Unit tests for the unified WAL: frame codec, LogManager, facades."""
+
+import os
+
+import pytest
+
+from repro.errors import LogError, WalError
+from repro.forensics.redo_undo import parse_redo_log, parse_undo_log
+from repro.wal import LogManager, LogStream, LsnCounter
+from repro.wal.log_manager import segment_name
+from repro.wal.records import (
+    FRAME_HEADER,
+    CheckpointBody,
+    RedoRecord,
+    UndoRecord,
+    WalRecordType,
+    pack_frame,
+    parse_frames,
+)
+
+
+def redo(txn=1, table="t", op="insert", key=1, image=b"row"):
+    return RedoRecord(txn, table, op, key, image)
+
+
+def undo(txn=1, table="t", op="update", key=1, image=b"old"):
+    return UndoRecord(txn, table, op, key, image)
+
+
+class TestFrameCodec:
+    def test_roundtrip_all_types(self):
+        body = redo().to_bytes()
+        data = b"".join(
+            (
+                pack_frame(10, WalRecordType.REDO, body),
+                pack_frame(10 + len(body), WalRecordType.TXN_COMMIT, b"\x01" * 8),
+            )
+        )
+        frames, error = parse_frames(data)
+        assert error is None
+        assert [f.rtype for f in frames] == [
+            WalRecordType.REDO,
+            WalRecordType.TXN_COMMIT,
+        ]
+        assert frames[0].decode() == redo()
+        assert frames[0].lsn == 10
+        assert frames[0].lsn_advance == len(body)
+        assert frames[1].lsn_advance == 0
+
+    def test_crc_mismatch_strict_raises(self):
+        data = bytearray(pack_frame(0, WalRecordType.REDO, redo().to_bytes()))
+        data[-1] ^= 0xFF
+        with pytest.raises(WalError, match="checksum mismatch"):
+            parse_frames(bytes(data))
+
+    def test_torn_tail_tolerant_stops(self):
+        good = pack_frame(0, WalRecordType.REDO, redo().to_bytes())
+        torn = good + pack_frame(50, WalRecordType.UNDO, undo().to_bytes())[:-3]
+        frames, error = parse_frames(torn, strict=False)
+        assert len(frames) == 1
+        assert "truncated frame body" in error
+
+    def test_truncated_header_tolerant(self):
+        good = pack_frame(0, WalRecordType.TXN_BEGIN, b"\x00" * 8)
+        frames, error = parse_frames(good + b"\x01\x02", strict=False)
+        assert len(frames) == 1
+        assert "truncated frame header" in error
+
+    def test_unknown_type_rejected(self):
+        bad = pack_frame(0, WalRecordType.REDO, b"")
+        # Patch the type byte (last header byte) to an unknown value and
+        # re-checksum so only the type is wrong.
+        import struct
+        import zlib
+
+        crc = zlib.crc32(bytes([99])) & 0xFFFFFFFF
+        bad = struct.pack("<QIIB", 0, 0, crc, 99)
+        with pytest.raises(WalError, match="unknown record type"):
+            parse_frames(bad)
+
+    def test_checkpoint_body_roundtrip(self):
+        body = CheckpointBody(1234, (("t", 3, 700), ("u", 1, 650)), (5, 9))
+        decoded, _ = CheckpointBody.from_bytes(body.to_bytes())
+        assert decoded == body
+
+    def test_negative_key_roundtrip(self):
+        record = redo(key=-42)
+        decoded, _ = RedoRecord.from_bytes(record.to_bytes())
+        assert decoded.key == -42
+
+
+class TestLogStream:
+    def test_capacity_validated(self):
+        with pytest.raises(LogError):
+            LogStream(0)
+
+    def test_check_fits_rejects_oversize(self):
+        stream = LogStream(16)
+        with pytest.raises(LogError, match="exceeds log capacity"):
+            stream.check_fits(b"x" * 17)
+
+    def test_eviction_oldest_first(self):
+        stream = LogStream(10)
+        stream.admit(0, b"aaaa", "a")
+        stream.admit(4, b"bbbb", "b")
+        stream.admit(8, b"cccc", "c")  # 12 bytes used -> evict "a"
+        assert stream.records() == ["b", "c"]
+        assert stream.oldest_lsn == 4
+        assert stream.newest_lsn == 8
+        assert stream.total_appended == 3
+        assert stream.total_evicted == 1
+        assert stream.used_bytes == 8
+
+
+class TestLogManagerAppend:
+    def test_redo_undo_advance_by_length(self):
+        mgr = LogManager()
+        r, u = redo(), undo()
+        lsn_r = mgr.append_redo(r)
+        assert lsn_r == 0
+        assert mgr.lsn.current == len(r.to_bytes())
+        lsn_u = mgr.append_undo(u)
+        assert lsn_u == len(r.to_bytes())
+        assert mgr.lsn.current == len(r.to_bytes()) + len(u.to_bytes())
+
+    def test_control_records_advance_zero(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        before = mgr.lsn.current
+        assert mgr.append_begin(7) == before
+        assert mgr.append_commit(7) == before
+        assert mgr.append_abort(8) == before
+        assert mgr.append_clr(redo(op="delete", image=b"")) == before
+        assert mgr.append_checkpoint((), ()) == before
+        assert mgr.append_table_register("t") == before
+        assert mgr.lsn.current == before
+
+    def test_control_records_not_in_retention_streams(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        mgr.append_clr(redo(op="delete", image=b""))
+        mgr.append_commit(1)
+        assert mgr.redo_stream.num_records == 1
+        assert mgr.undo_stream.num_records == 0
+
+    def test_replaying_suppresses_appends(self):
+        mgr = LogManager()
+        with mgr.replaying():
+            mgr.append_redo(redo())
+            mgr.append_commit(1)
+        assert mgr.lsn.current == 0
+        mgr.flush()
+        assert mgr.records() == []
+
+    def test_closed_manager_rejects_appends(self):
+        mgr = LogManager()
+        mgr.close()
+        with pytest.raises(WalError, match="closed"):
+            mgr.append_redo(redo())
+
+    def test_bad_segment_bytes_rejected(self):
+        with pytest.raises(WalError, match="segment size"):
+            LogManager(segment_bytes=0)
+
+    def test_shared_lsn_counter(self):
+        counter = LsnCounter(start=500)
+        mgr = LogManager(lsn=counter)
+        mgr.append_redo(redo())
+        assert counter.current == 500 + len(redo().to_bytes())
+
+
+class TestGroupFlush:
+    def test_segments_exclude_pending(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        assert mgr.segments() == {segment_name(1): b""}
+        assert mgr.flush() == 1
+        frames, error = parse_frames(mgr.segments()[segment_name(1)])
+        assert error is None
+        assert len(frames) == 1
+
+    def test_flushed_lsn_tracks_flush(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        assert mgr.flushed_lsn == 0
+        mgr.flush()
+        assert mgr.flushed_lsn == mgr.lsn.current
+
+    def test_flush_to_is_noop_when_covered(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        mgr.flush()
+        flushes_before = mgr.stats["flushes"]
+        mgr.flush_to(mgr.flushed_lsn)  # already durable
+        assert mgr.stats["flushes"] == flushes_before
+
+    def test_flush_to_forces_pending(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        mgr.flush_to(mgr.lsn.current)
+        assert mgr.stats["pending_frames"] == 0
+        assert mgr.flushed_lsn == mgr.lsn.current
+
+    def test_empty_flush_returns_zero(self):
+        mgr = LogManager()
+        assert mgr.flush() == 0
+
+    def test_crash_discards_pending(self):
+        mgr = LogManager()
+        mgr.append_redo(redo())
+        mgr.flush()
+        mgr.append_redo(redo(key=2))
+        mgr.crash()
+        assert mgr.closed
+        frames, _ = parse_frames(mgr.segments()[segment_name(1)])
+        assert len(frames) == 1  # the unflushed second record is gone
+
+
+class TestSegments:
+    def test_rollover_at_segment_bytes(self):
+        mgr = LogManager(segment_bytes=128, sync=False)
+        for i in range(10):
+            mgr.append_redo(redo(key=i))
+            mgr.flush()
+        assert len(mgr.segment_names()) > 1
+        assert mgr.segment_names() == sorted(mgr.segment_names())
+        # Every segment except possibly the last stays under the roll size
+        # plus one frame (a frame is never split across segments).
+        all_frames = mgr.records()
+        assert len(all_frames) == 10
+        assert [f.decode().key for f in all_frames] == list(range(10))
+
+    def test_memory_mode_drops_oldest_sealed(self):
+        mgr = LogManager(segment_bytes=64, max_resident_segments=2)
+        for i in range(12):
+            mgr.append_redo(redo(key=i))
+            mgr.flush()
+        segs = mgr.segments()
+        assert mgr.stats["dropped_segments"] > 0
+        dropped = [name for name, data in segs.items() if data == b""]
+        assert dropped == sorted(dropped)
+        # The newest segments are still materialised.
+        assert segs[mgr.segment_names()[-1]] != b""
+
+    def test_disk_mode_retains_all_segments(self, tmp_path):
+        mgr = LogManager(wal_dir=str(tmp_path), segment_bytes=64, sync=False)
+        for i in range(12):
+            mgr.append_redo(redo(key=i))
+            mgr.flush()
+        segs = mgr.segments()
+        assert len(segs) > 2
+        assert all(data for data in segs.values())
+        assert mgr.stats["dropped_segments"] == 0
+        mgr.close()
+
+    def test_checksum_changes_with_content(self):
+        mgr = LogManager()
+        empty = mgr.checksum()
+        mgr.append_redo(redo())
+        mgr.flush()
+        assert mgr.checksum() != empty
+
+
+class TestResume:
+    def test_resume_restores_lsn_and_streams(self, tmp_path):
+        mgr = LogManager(wal_dir=str(tmp_path), sync=False)
+        for i in range(5):
+            mgr.append_redo(redo(key=i))
+            mgr.append_undo(undo(key=i))
+        mgr.append_commit(1)
+        mgr.flush()
+        end_lsn = mgr.lsn.current
+        mgr.close()
+
+        resumed = LogManager(wal_dir=str(tmp_path), sync=False)
+        assert resumed.lsn.current == end_lsn
+        assert resumed.resumed_frames == 11
+        assert resumed.redo_stream.num_records == 5
+        assert resumed.undo_stream.num_records == 5
+        assert resumed.truncated_tail is None
+        # Appends continue the log rather than restarting it.
+        resumed.append_redo(redo(key=99))
+        resumed.flush()
+        keys = [
+            f.decode().key
+            for f in resumed.records()
+            if f.rtype is WalRecordType.REDO
+        ]
+        assert keys == [0, 1, 2, 3, 4, 99]
+        resumed.close()
+
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        mgr = LogManager(wal_dir=str(tmp_path), sync=False)
+        mgr.append_redo(redo(key=1))
+        mgr.flush()
+        mgr.close()
+        path = tmp_path / segment_name(1)
+        good_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef")  # torn partial frame
+
+        resumed = LogManager(wal_dir=str(tmp_path), sync=False)
+        assert resumed.truncated_tail is not None
+        assert path.stat().st_size == good_size
+        assert resumed.resumed_frames == 1
+        resumed.close()
+
+    def test_corrupt_interior_segment_rejected(self, tmp_path):
+        mgr = LogManager(wal_dir=str(tmp_path), segment_bytes=64, sync=False)
+        for i in range(8):
+            mgr.append_redo(redo(key=i))
+            mgr.flush()
+        assert len(mgr.segment_names()) >= 3
+        first = tmp_path / mgr.segment_names()[0]
+        mgr.close()
+        data = bytearray(first.read_bytes())
+        data[FRAME_HEADER.size] ^= 0xFF  # flip a body byte -> CRC fails
+        first.write_bytes(bytes(data))
+        with pytest.raises(WalError, match="corrupt interior"):
+            LogManager(wal_dir=str(tmp_path), sync=False)
+
+    def test_resume_rolls_into_new_segment(self, tmp_path):
+        mgr = LogManager(wal_dir=str(tmp_path), segment_bytes=64, sync=False)
+        for i in range(4):
+            mgr.append_redo(redo(key=i))
+            mgr.flush()
+        names_before = mgr.segment_names()
+        mgr.close()
+        resumed = LogManager(wal_dir=str(tmp_path), segment_bytes=64, sync=False)
+        for i in range(4, 8):
+            resumed.append_redo(redo(key=i))
+            resumed.flush()
+        assert len(resumed.segment_names()) > len(names_before)
+        keys = [
+            f.decode().key
+            for f in resumed.records()
+            if f.rtype is WalRecordType.REDO
+        ]
+        assert keys == list(range(8))
+        resumed.close()
+
+
+class TestFacadeByteIdentity:
+    """The circular-log views must stay byte-identical through the manager."""
+
+    def test_raw_bytes_framing_matches_forensic_parser(self):
+        mgr = LogManager()
+        records = [redo(key=i, image=bytes([i])) for i in range(3)]
+        lsns = [mgr.append_redo(r) for r in records]
+        parsed = parse_redo_log(mgr.redo_stream.raw_bytes())
+        assert parsed == list(zip(lsns, records))
+
+    def test_undo_raw_bytes_parse(self):
+        mgr = LogManager()
+        records = [undo(key=i) for i in range(3)]
+        lsns = [mgr.append_undo(r) for r in records]
+        parsed = parse_undo_log(mgr.undo_stream.raw_bytes())
+        assert parsed == list(zip(lsns, records))
+
+    def test_engine_facades_share_manager_lsn(self):
+        from repro.engine import StorageEngine
+
+        engine = StorageEngine()
+        assert engine.redo_log.manager is engine.wal
+        assert engine.undo_log.manager is engine.wal
+        assert engine.lsn is engine.wal.lsn
+        engine.register_table("t")
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, b"v")
+        engine.commit(txn)
+        # The same append is visible through the facade and the WAL.
+        assert engine.redo_log.num_records == 1
+        redo_frames = [
+            f for f in engine.wal.records() if f.rtype is WalRecordType.REDO
+        ]
+        assert len(redo_frames) == 1
+        assert redo_frames[0].decode().key == 1
+
+
+class TestCombinedShardedWal:
+    def test_shard_qualified_segments(self):
+        from repro.server.sharding import ShardedEngine
+
+        engine = ShardedEngine(num_shards=2)
+        engine.register_table("t")
+        txn = engine.begin()
+        engine.insert(txn, "t", 1, b"v")
+        engine.commit(txn)
+        segs = engine.wal_segments()
+        assert all("/" in name for name in segs)
+        prefixes = {name.split("/", 1)[0] for name in segs}
+        assert prefixes == {"shard0", "shard1"}
+        stats = engine.wal.stats
+        assert stats["shards"] == 2

@@ -16,7 +16,16 @@ yet) is a *new* benchmark: it passes with a notice, since the very change
 that introduces a benchmark record cannot also have it in the committed
 baseline it is diffed against.
 
-Exit status: 0 when every record is within tolerance, 1 otherwise.
+``--write`` flips the tool from gate to refresher: instead of failing on
+drift, it rewrites each BENCH file as the committed baseline updated with
+the freshly-measured values. Fresh values win field-by-field, but records
+and keys present only in the committed version are preserved — a partial
+benchmark run (one suite on one machine) must not silently delete the rest
+of the baseline. Output is normalised (sorted keys, two-space indent,
+trailing newline) so refresh diffs stay minimal.
+
+Exit status: 0 when every record is within tolerance (always 0 with
+``--write``), 1 otherwise.
 """
 
 from __future__ import annotations
@@ -98,6 +107,26 @@ def diff_file(path: Path, ref: str, tolerance: float, lat_tolerance: float) -> l
     return problems
 
 
+def write_file(path: Path, ref: str) -> None:
+    """Refresh one BENCH file in place from its freshly-measured content.
+
+    Fresh values win; committed-only records and keys survive so that a
+    partial run never shrinks the baseline.
+    """
+    fresh = json.loads(path.read_text())
+    baseline = committed_json(path, ref) or {}
+    merged = {}
+    for record in sorted(set(fresh) | set(baseline)):
+        if record not in fresh:
+            merged[record] = baseline[record]
+        elif record not in baseline:
+            merged[record] = fresh[record]
+        else:
+            merged[record] = {**baseline[record], **fresh[record]}
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"{path.name}: baseline refreshed ({len(merged)} record(s))")
+
+
 def main(argv: list = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -113,12 +142,20 @@ def main(argv: list = None) -> int:
         "--latency-tolerance", type=float, default=0.60,
         help="relative p50/p99 bound (default 0.60 = ±60%%)",
     )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="refresh the committed baselines in place instead of gating",
+    )
     args = parser.parse_args(argv)
 
     files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
     if not files:
         print("no BENCH_*.json files found", file=sys.stderr)
         return 1
+    if args.write:
+        for path in files:
+            write_file(path.resolve(), args.baseline_ref)
+        return 0
     problems = []
     for path in files:
         problems.extend(
