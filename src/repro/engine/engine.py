@@ -182,6 +182,12 @@ class StorageEngine:
             table = PagedTable(self.buffer_pool, page_file)
             self._tables[name] = (page_file, table)
             self.wal.append_table_register(name)
+            # DDL is rare: flush so the registration is durable alongside
+            # the .ibd file it just created. A crash before any other
+            # flush would otherwise leave a tablespace recovery never
+            # scans or moves aside — a later re-registration of the same
+            # name could resurrect its stale pages.
+            self.wal.flush()
             return
         space = Tablespace(self._next_space_id, name)
         self._next_space_id += 1

@@ -52,6 +52,7 @@ class Frame:
         "pin_count",
         "dirty",
         "rec_lsn",
+        "page_lsn",
         "access_count",
         "ref_bit",
     )
@@ -63,10 +64,14 @@ class Frame:
         self.node = node
         self.pin_count = 0
         self.dirty = False
-        #: LSN that first dirtied the page since its last write-back; the
-        #: WAL rule forces the log up to (at least) this before the page
-        #: may reach disk. 0 while clean.
+        #: LSN that first dirtied the page since its last write-back —
+        #: the dirty-page-table entry (where redo must reach back to).
+        #: 0 while clean.
         self.rec_lsn = 0
+        #: LSN at the page's *latest* dirtying — the WAL rule's flush
+        #: target: the log must be durable up to here before the page may
+        #: reach disk, and write-back stamps it into the page header.
+        self.page_lsn = 0
         self.access_count = 0
         self.ref_bit = True
 
@@ -95,10 +100,11 @@ class BufferPoolManager:
         Zero-argument callable returning the engine LSN; stamped into each
         page header at write-back so on-disk images order deterministically.
     log_flusher:
-        WAL-rule hook: called with a dirty frame's rec-LSN *before* that
-        frame is written back, so the log covering the change is durable
-        before the page is (``LogManager.flush_to``). ``None`` disables
-        the rule (standalone pools in tests).
+        WAL-rule hook: called with a dirty frame's page-LSN (its latest
+        dirtying LSN) *before* that frame is written back, so the log
+        covering the page's changes is durable before the page is
+        (``LogManager.flush_to``). ``None`` disables the rule (standalone
+        pools in tests).
     """
 
     DEFAULT_CAPACITY = 8192
@@ -198,12 +204,13 @@ class BufferPoolManager:
         self._note_dirty(frame)
 
     def _note_dirty(self, frame: Frame) -> None:
-        """Dirty a frame, stamping its rec-LSN on the clean→dirty edge."""
+        """Dirty a frame: rec-LSN sticks to the clean→dirty edge, page-LSN
+        advances with every re-dirtying."""
+        lsn = self._lsn_source() if self._lsn_source is not None else 0
         if not frame.dirty:
             frame.dirty = True
-            frame.rec_lsn = (
-                self._lsn_source() if self._lsn_source is not None else 0
-            )
+            frame.rec_lsn = lsn
+        frame.page_lsn = lsn
 
     def free_page(self, file: PageFile, page_id: int) -> None:
         """Discard a (possibly resident) page and put it on the free list.
@@ -287,13 +294,15 @@ class BufferPoolManager:
         self._recency.pop(frame.key, None)
 
     def _writeback(self, frame: Frame) -> None:
-        lsn = self._lsn_source() if self._lsn_source is not None else 0
-        # WAL rule: the log must be durable up to the page's LSN before the
-        # page image may reach disk, or a crash could persist a change whose
-        # log record was lost.
+        # WAL rule: the log must be durable up to the page's own LSN before
+        # its image may reach disk. Flushing to the frame's page-LSN (not
+        # the engine's end LSN) lets a write-back skip the flush entirely
+        # when the log already covers the page's changes.
         if self._log_flusher is not None:
-            self._log_flusher(lsn)
-        frame.file.write_page(frame.page_id, frame.node.serialize(page_lsn=lsn))
+            self._log_flusher(frame.page_lsn)
+        frame.file.write_page(
+            frame.page_id, frame.node.serialize(page_lsn=frame.page_lsn)
+        )
         frame.dirty = False
         frame.rec_lsn = 0
         self._writebacks += 1

@@ -18,7 +18,7 @@ Appends are *staged*: nothing reaches the operating system until
 the active segment file, rolls segments at ``segment_bytes``, and — when
 ``sync`` is on — ``fsync``\\ s before returning. :meth:`LogManager.flush_to`
 is the buffer pool's WAL-rule hook: force the log up to a dirty page's
-rec-LSN before that page may hit disk.
+page-LSN before that page may hit disk.
 
 Durability is also the leakage boundary: :meth:`LogManager.segments`
 exposes exactly the flushed bytes — what a snapshot attacker gets from the
@@ -298,6 +298,13 @@ class LogManager:
     def _seal_active(self) -> None:
         active = self._segments[-1]
         if active.handle is not None:
+            # A segment sealed mid-flush must be as durable as the final
+            # one: with ``sync`` on, its frames would otherwise sit in the
+            # OS cache while flush() reports them durable.
+            active.handle.flush()
+            if self.sync:
+                os.fsync(active.handle.fileno())
+                self._syncs += 1
             active.handle.close()
             active.handle = None
         if self.wal_dir is None:
@@ -444,7 +451,7 @@ class LogManager:
         """WAL rule hook: make the log durable at least up to ``lsn``.
 
         The buffer pool calls this before writing back a dirty page whose
-        rec-LSN is ``lsn``; a no-op when the log is already flushed past it.
+        page-LSN is ``lsn``; a no-op when the log is already flushed past it.
         """
         if lsn > self._flushed_lsn and self._pending:
             self.flush()

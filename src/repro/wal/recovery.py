@@ -108,6 +108,10 @@ class _Analysis:
     losers: Set[int]
     clr_count: int
     truncated_tail: Optional[str]
+    #: Highest transaction id appearing anywhere in the log — the recovered
+    #: engine must issue ids strictly above this, or a second crash would
+    #: classify a reused id by the *old* run's COMMIT/ABORT records.
+    max_txn_id: int
 
 
 def _read_segments(wal_dir: str) -> Tuple[List[Tuple[str, bytes]], int]:
@@ -169,6 +173,9 @@ def _analyze(wal_dir: str) -> Tuple[_Analysis, int]:
             clr_count += 1
             seen.add(frame.decode().txn_id)
     losers = seen - committed - aborted
+    all_ids = seen | committed | aborted
+    if checkpoint is not None:
+        all_ids |= set(checkpoint.active_txns)
     return (
         _Analysis(
             frames=frames,
@@ -179,6 +186,7 @@ def _analyze(wal_dir: str) -> Tuple[_Analysis, int]:
             losers=losers,
             clr_count=clr_count,
             truncated_tail=truncated,
+            max_txn_id=max(all_ids, default=0),
         ),
         n_segments,
     )
@@ -330,6 +338,10 @@ def recover_engine(data_dir: str, **engine_kwargs):
                 continue
             if _apply_undo(table, record):
                 report.undo_applied += 1
+    # Restore the txn-id high-water mark: the resumed WAL still carries the
+    # crashed run's frames, so reissuing one of its ids would let a later
+    # recovery treat the new incarnation as already committed (or aborted).
+    engine._next_txn_id = max(engine._next_txn_id, analysis.max_txn_id + 1)
     engine.checkpoint()
     report.end_lsn = engine.lsn.current
     engine.last_recovery_report = report
@@ -347,6 +359,7 @@ def recover_sharded_engine(data_dir: str, num_shards: int, **engine_kwargs):
 
     shard_reports: List[RecoveryReport] = []
     all_tables: List[str] = []
+    next_txn_id = 1
     for i in range(num_shards):
         shard_dir = os.path.join(data_dir, f"shard{i}")
         if not os.path.isdir(shard_dir):
@@ -357,6 +370,7 @@ def recover_sharded_engine(data_dir: str, num_shards: int, **engine_kwargs):
         for name in engine.last_recovery_report.tables:
             if name not in all_tables:
                 all_tables.append(name)
+        next_txn_id = max(next_txn_id, engine._next_txn_id)
         shard_reports.append(engine.last_recovery_report)
         engine.close()
     sharded = ShardedEngine(
@@ -368,6 +382,12 @@ def recover_sharded_engine(data_dir: str, num_shards: int, **engine_kwargs):
     with _sharded_replaying(sharded):
         for name in all_tables:
             sharded.register_table(name)
+    # Txn-id high-water mark, coordinator and shards alike: the facade
+    # allocates global ids, but per-shard paths (log_ddl, direct begin)
+    # draw on the shard-local counters too.
+    sharded._next_txn_id = max(sharded._next_txn_id, next_txn_id)
+    for shard in sharded.shards:
+        shard._next_txn_id = max(shard._next_txn_id, next_txn_id)
     report = RecoveryReport(data_dir=data_dir)
     report.tables = tuple(all_tables)
     report.shard_reports = shard_reports

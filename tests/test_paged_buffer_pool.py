@@ -209,13 +209,16 @@ class TestEvictionCornerCases:
         frame = new_leaf(pool, file, [(1, b"v")])
         assert frame.rec_lsn == 100  # stamped on the clean->dirty edge
         lsn[0] = 250
-        pool.unpin(frame, dirty=True)
+        pool.unpin(frame, dirty=True)  # re-dirty: page-LSN advances to 250
+        lsn[0] = 999  # the clock moves on, but the page does not
         pool.flush_page(file, frame.page_id)
 
         assert [kind for kind, _ in events] == ["log_flush", "page_write"]
-        flushed_to = events[0][1]
-        assert flushed_to >= frame.rec_lsn or frame.rec_lsn == 0
-        assert flushed_to == 250  # covers everything up to the write-back
+        # The flush target is the frame's own page-LSN, not the engine's
+        # end LSN — flushing to 999 on every write-back would force a full
+        # log flush regardless of what the log already covers.
+        assert events[0][1] == 250
+        assert file.read_page(frame.page_id).page_lsn == 250
         assert not frame.dirty and frame.rec_lsn == 0
 
         # Checkpoint obeys the same ordering for every dirty frame.
@@ -236,6 +239,7 @@ class TestEvictionCornerCases:
         lsn[0] = 90
         pool.mark_dirty(frame)
         assert frame.rec_lsn == 7
+        assert frame.page_lsn == 90  # ...while page-LSN tracks the latest
         assert pool.dirty_page_table() == ((file.name, frame.page_id, 7),)
         pool.unpin(frame, dirty=True)
 
@@ -251,7 +255,7 @@ class TestFlushAndCheckpoint:
         assert file.read_page(frame.page_id).n_entries == 1
 
     def test_checkpoint_stamps_header_lsn(self):
-        lsn = [0]
+        lsn = [50]
         pool = BufferPoolManager(capacity=8, lsn_source=lambda: lsn[0])
         file = make_file()
         frame = new_leaf(pool, file, [(1, b"v")])
@@ -259,7 +263,8 @@ class TestFlushAndCheckpoint:
         lsn[0] = 77
         pool.checkpoint()
         assert file.checkpoint_lsn == 77
-        assert file.read_page(frame.page_id).page_lsn == 77
+        # The page image carries its own last-dirty LSN, not the clock's.
+        assert file.read_page(frame.page_id).page_lsn == 50
 
     def test_free_page_drops_without_writeback(self):
         pool = BufferPoolManager(capacity=8)

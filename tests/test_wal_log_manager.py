@@ -230,6 +230,20 @@ class TestSegments:
         assert len(all_frames) == 10
         assert [f.decode().key for f in all_frames] == list(range(10))
 
+    def test_rolled_segments_fsynced_before_seal(self, tmp_path):
+        # A flush that rolls segments must fsync each sealed segment, not
+        # only the final active one — otherwise "committed == durable"
+        # fails across a roll boundary on power loss.
+        mgr = LogManager(wal_dir=str(tmp_path), segment_bytes=64, sync=True)
+        for i in range(8):
+            mgr.append_redo(redo(key=i))
+        mgr.flush()  # one batch spanning several segments
+        n_segments = len(mgr.segment_names())
+        assert n_segments > 1
+        # One fsync per sealed segment plus one for the final active one.
+        assert mgr.stats["syncs"] == n_segments
+        mgr.close()
+
     def test_memory_mode_drops_oldest_sealed(self):
         mgr = LogManager(segment_bytes=64, max_resident_segments=2)
         for i in range(12):

@@ -223,6 +223,47 @@ class TestKillAtRandomPoint:
         assert recovered.scan("a") == [(1, b"c")]
         recovered.close()
 
+    def test_txn_ids_not_reused_after_recovery(self, tmp_path):
+        # Regression: the recovered engine must continue the txn-id
+        # sequence past every id in the resumed WAL. A reused id would be
+        # classified by the *old* run's COMMIT record on the next crash,
+        # letting the new incarnation's uncommitted changes survive.
+        data_dir = str(tmp_path / "txnids")
+        engine = StorageEngine(storage="paged", data_dir=data_dir, **ENGINE_KWARGS)
+        engine.register_table("a")
+        txn = engine.begin()
+        engine.insert(txn, "a", 1, b"one")
+        engine.commit(txn)
+        committed_id = txn.txn_id
+        engine.simulate_crash()
+
+        recovered = recover_engine(data_dir, **ENGINE_KWARGS)
+        loser = recovered.begin()
+        assert loser.txn_id > committed_id
+        recovered.insert(loser, "a", 2, b"ghost")
+        recovered.wal.flush()
+        recovered.simulate_crash()
+
+        second = recover_engine(data_dir, **ENGINE_KWARGS)
+        assert second.scan("a") == [(1, b"one")]
+        assert loser.txn_id in second.last_recovery_report.loser_txns
+        second.close()
+
+    def test_table_registration_durable_without_explicit_flush(self, tmp_path):
+        # register_table creates the .ibd immediately; the TABLE_REGISTER
+        # frame must be durable with it, or recovery neither damage-scans
+        # nor moves the tablespace aside.
+        data_dir = str(tmp_path / "ddl")
+        engine = StorageEngine(storage="paged", data_dir=data_dir, **ENGINE_KWARGS)
+        engine.register_table("a")
+        engine.simulate_crash()
+
+        recovered = recover_engine(data_dir, **ENGINE_KWARGS)
+        assert recovered.last_recovery_report.tables == ("a",)
+        assert os.path.exists(os.path.join(data_dir, "a.ibd.crashed"))
+        assert recovered.scan("a") == []
+        recovered.close()
+
     def test_rejects_fixed_kwargs(self, tmp_path):
         with pytest.raises(RecoveryError, match="storage"):
             recover_engine(str(tmp_path), storage="paged")
@@ -337,8 +378,10 @@ class TestShardedRecovery:
         assert report.records_scanned == sum(
             r.records_scanned for r in report.shard_reports
         )
-        # Recovered sharded engine keeps working.
+        # Recovered sharded engine keeps working, continuing the txn-id
+        # sequence past the crashed run's ids (no reuse across recovery).
         txn = recovered.begin()
+        assert txn.txn_id > loser.txn_id
         recovered.insert(txn, "a", 99, b"post")
         recovered.commit(txn)
         assert dict(recovered.scan("a"))[99] == b"post"
