@@ -9,6 +9,13 @@ repo's own cache is untouched), then measures three runs:
 3. one edit  — a single leaf module gains a function; the incremental run
                must re-analyze < 25% of functions and still match a
                from-scratch run on the edited tree.
+
+Record naming: ``lint_warm_noop`` is the unchanged-tree run (full-tree
+payload hit, the fastest mode) and ``lint_warm_one_edit`` is the one-module
+edit (cone re-analysis — slower than a no-op hit but far cheaper than
+cold). The previous names, ``lint_warm_full``/``lint_warm_incremental``,
+read backwards: "incremental" looked like it should beat "full" when the
+numbers (correctly) showed the opposite.
 """
 
 from __future__ import annotations
@@ -78,8 +85,8 @@ def test_incremental_lint_speedup(tmp_path, report, bench_json):
     total = stats["functions_total"]
     for record, seconds in (
         ("lint_cold", cold_s),
-        ("lint_warm_full", warm_s),
-        ("lint_warm_incremental", incr_s),
+        ("lint_warm_noop", warm_s),
+        ("lint_warm_one_edit", incr_s),
     ):
         bench_json(
             "repro_lint", record,

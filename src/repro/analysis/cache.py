@@ -30,7 +30,9 @@ from typing import Dict, Iterable, Optional, Tuple
 #: Bump on any change to the analyzer's semantics or cache layout: a stale
 #: cache from an older analyzer must never satisfy a newer run. v2 adds
 #: per-function protocol/lockset facts next to each module's Contributions.
-CACHE_VERSION = 2
+#: v3: the volume taint domain changes what Contributions record (len()
+#: retainting, widened sink params), so v2 summaries are unusable.
+CACHE_VERSION = 3
 
 DEFAULT_CACHE_DIRNAME = ".repro-lint-cache"
 

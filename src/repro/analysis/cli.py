@@ -239,6 +239,29 @@ def main(argv=None) -> int:
                 print(f"repro-lint: {problem}", file=sys.stderr)
             rc = max(rc, 1)
 
+    # With a volume_surface section, every run regenerates the committed
+    # per-sink volume map the E14+ attack suite consumes. The output is
+    # deterministic (sorted keys, no timestamps), so CI can fail when the
+    # committed file is stale relative to a fresh run.
+    if report.spec.volume_surface is not None:
+        import json as _json
+
+        from .passes import build_volume_surface
+
+        surface = build_volume_surface(report.spec, report.flows)
+        surface_path = spec_path.parent / "volume_surface.json"
+        payload = _json.dumps(surface, indent=2, sort_keys=True) + "\n"
+        if (
+            not surface_path.exists()
+            or surface_path.read_text(encoding="utf-8") != payload
+        ):
+            surface_path.write_text(payload, encoding="utf-8")
+        print(
+            f"repro-lint: volume surface: {surface_path} "
+            f"({len(surface['sinks'])} sink(s))",
+            file=sys.stderr,
+        )
+
     if args.format == "json":
         print(report.to_json())
     elif args.format == "sarif":

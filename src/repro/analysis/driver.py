@@ -42,7 +42,12 @@ from .cache import (
 from .facts import FunctionFacts, extract_all_facts, facts_needed
 from .fingerprint import apply_baseline, attach_fingerprints, load_baseline
 from .modindex import PackageIndex, module_files
-from .passes import PassContext, default_registry, stale_documented_entries
+from .passes import (
+    PassContext,
+    default_registry,
+    stale_documented_entries,
+    stale_volume_declarations,
+)
 from .report import AnalysisReport, build_report
 from .resolve import Resolver
 from .spec import LeakageSpec, load_spec
@@ -51,7 +56,10 @@ from .taint import Contribution, TaintEngine
 #: Analyzer semantic version: part of every cache key and of ``--version``.
 #: 3.0.0: typestate (resource-protocol) and lockset passes; per-function
 #: protocol/lockset facts cached next to taint contributions.
-ANALYZER_VERSION = "3.0.0"
+#: 4.0.0: size-provenance (volume) taint domain + durability-ordering
+#: pass; volume kinds ride the cached contributions, so the bump
+#: invalidates every v3 cache entry.
+ANALYZER_VERSION = "4.0.0"
 
 
 def _module_dep_closures(
@@ -126,6 +134,7 @@ def _run_passes(
     )
     violations = default_registry().run_all(ctx)
     stale = stale_documented_entries(spec, result)
+    stale.extend(stale_volume_declarations(spec, result))
     return violations, stale
 
 

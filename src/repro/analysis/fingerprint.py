@@ -29,7 +29,12 @@ BASELINE_VERSION = 1
 #: Rules a baseline may never suppress. ``protocol-undeclared-free`` joins
 #: key-hygiene: the spec's ``residue_handlers`` section *is* the allowlist
 #: for free_page callers, and a baseline would be a second escape hatch.
-NEVER_BASELINED = frozenset({"key-hygiene", "protocol-undeclared-free"})
+#: ``volume-undeclared-flow`` likewise: ``volume_surface.declared`` is the
+#: allowlist for size channels — every entry is an attack-surface row the
+#: E14+ suite targets, so it must never hide in a baseline instead.
+NEVER_BASELINED = frozenset(
+    {"key-hygiene", "protocol-undeclared-free", "volume-undeclared-flow"}
+)
 
 
 def violation_fingerprint(violation: Violation) -> str:

@@ -3,8 +3,9 @@
 :func:`default_registry` assembles the shipped passes in their canonical
 order: the three flow-gate passes (undocumented flows, key hygiene, secure
 deletion — PRs 3–4), the crypto-misuse and shared-state passes (PR 5),
-then the resource-protocol (typestate) and lockset passes (this PR) — all
-opt-in via spec sections. Downstream consumers — the driver, the SARIF
+the resource-protocol (typestate) and lockset passes (v3), then the
+volume-flow and durability-ordering passes (v4) — all opt-in via spec
+sections. Downstream consumers — the driver, the SARIF
 emitter's rule table, baseline fingerprints, ``--explain`` — enumerate
 passes from the registry rather than from hard-coded call sites, so adding
 a check is one :class:`LintPass` entry here.
@@ -30,9 +31,17 @@ from .flows import (
 from .shared_state import SHARED_STATE_PASS, shared_state_lint
 from .protocol import PROTOCOL_PASS, protocol_lint
 from .lockset import LOCKSET_PASS, lockset_lint
+from .volume import (
+    VOLUME_PASS,
+    build_volume_surface,
+    stale_volume_declarations,
+    volume_flow_lint,
+)
+from .durability import DURABILITY_PASS, durability_lint
 
 __all__ = [
     "CRYPTO_PASS",
+    "DURABILITY_PASS",
     "FLOW_PASSES",
     "LOCKSET_PASS",
     "LintPass",
@@ -41,16 +50,21 @@ __all__ = [
     "PassRegistry",
     "RuleMeta",
     "SHARED_STATE_PASS",
+    "VOLUME_PASS",
     "Violation",
+    "build_volume_surface",
     "crypto_misuse_lint",
     "default_registry",
+    "durability_lint",
     "key_hygiene_lint",
     "lockset_lint",
     "protocol_lint",
     "secure_deletion_lint",
     "shared_state_lint",
     "stale_documented_entries",
+    "stale_volume_declarations",
     "undocumented_flow_lint",
+    "volume_flow_lint",
 ]
 
 
@@ -62,4 +76,6 @@ def default_registry() -> PassRegistry:
     registry.register(SHARED_STATE_PASS)
     registry.register(PROTOCOL_PASS)
     registry.register(LOCKSET_PASS)
+    registry.register(VOLUME_PASS)
+    registry.register(DURABILITY_PASS)
     return registry

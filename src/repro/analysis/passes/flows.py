@@ -138,8 +138,11 @@ def undocumented_flow_lint(ctx: PassContext) -> List[Violation]:
     spec, result = ctx.spec, ctx.result
     documented = spec.documented_pairs()
     forbidden = spec.forbidden_pairs()
+    volume_kinds = spec.volume_kinds()
     violations: List[Violation] = []
     for (taint, sink_id), flow in sorted(result.flows.items()):
+        if taint in volume_kinds:
+            continue  # judged by the volume pass against volume_surface
         if (taint, sink_id) in documented:
             continue
         if (taint, sink_id) in forbidden:

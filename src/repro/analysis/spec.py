@@ -195,6 +195,112 @@ class ResourceProtocolsPolicy:
 
 
 @dataclass(frozen=True)
+class VolumeDeclaration:
+    """One declared size/cardinality flow into a persisted sink.
+
+    The declaration is the machine-readable row of the volume attack
+    surface: *what* quantity leaks (``source`` expression and its
+    ``granularity``), *where* it lands (``sinks``), and which planned
+    volume-attack experiment consumes it (``experiments``, E14+).
+    """
+
+    taint: str
+    sinks: Tuple[str, ...]
+    source: str
+    granularity: str
+    experiments: Tuple[str, ...] = ()
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class VolumeSurfacePolicy:
+    """Configuration for the volume-flow lint pass.
+
+    The pass only runs when a spec carries a ``volume_surface`` section.
+    When present, the taint engine grows a size-provenance domain:
+    ``len()`` of tainted data yields ``length_taint``, and calls to the
+    declared ``duration_sources`` (wall-clock reads) yield
+    ``duration_taint``. Every volume flow into a sink whose category is
+    in ``categories`` must appear under ``declared`` — Poddar et al.'s
+    volume attacker needs nothing but these counts.
+    """
+
+    length_taint: str = "volume.length"
+    duration_taint: str = "volume.duration"
+    #: Dotted callables whose return value is a wall-clock/duration
+    #: measurement (e.g. ``time.perf_counter``). Matched at unresolved
+    #: call sites, so stdlib clocks can be declared without stubs.
+    duration_sources: Tuple[str, ...] = ()
+    #: Sink categories that persist (or export) the observed value —
+    #: flows into these must be declared. ``memory`` is deliberately
+    #: excluded by default: heap-resident sizes are the snapshot
+    #: attacker's problem, already covered by the plaintext flows.
+    categories: Tuple[str, ...] = (
+        "persistence",
+        "telemetry",
+        "diagnostic",
+        "capture",
+    )
+    declared: Tuple[VolumeDeclaration, ...] = ()
+
+    def volume_kinds(self) -> FrozenSet[str]:
+        return frozenset((self.length_taint, self.duration_taint))
+
+    def declared_pairs(self) -> Set[Tuple[str, str]]:
+        return {(d.taint, s) for d in self.declared for s in d.sinks}
+
+
+#: Rule ids the durability pass can emit (and that ``declared`` entries
+#: may waive with a justification).
+DURABILITY_RULES = (
+    "durability-unlogged-mutation",
+    "durability-unflushed-commit",
+    "durability-append-after-flush",
+)
+
+
+@dataclass(frozen=True)
+class DurabilityDeclaration:
+    """One waived durability finding, justified by protocol invariants."""
+
+    rule: str
+    #: Scope function qualname the finding is inside.
+    function: str
+    #: Callable name at the flagged call site (e.g. ``insert``,
+    #: ``append_commit``).
+    call: str
+    reason: str
+    experiments: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DurabilityProtocolPolicy:
+    """Configuration for the durability-ordering lint pass.
+
+    The pass only runs when a spec carries a ``durability_protocol``
+    section. All callables are matched *by name* (the last qualname
+    component) at call sites inside the declared scope functions —
+    receivers such as a tuple-unpacked tree handle are untypeable, and
+    name scoping keeps the match precise enough inside the handful of
+    WAL-discipline functions.
+    """
+
+    #: WAL append callables (undo/redo/CLR frame writers).
+    appends: Tuple[str, ...] = ()
+    #: Durability barriers (``flush``/fsync of staged frames).
+    flushes: Tuple[str, ...] = ()
+    #: Commit-record appends — the ack boundary checks (b)/(c) guard.
+    commit_appends: Tuple[str, ...] = ()
+    #: Page/tree mutation callables that must be covered by an append.
+    mutations: Tuple[str, ...] = ()
+    #: Scope functions for the unlogged-mutation check.
+    logged_mutators: Tuple[str, ...] = ()
+    #: Scope functions for the flush-ordering checks.
+    commit_functions: Tuple[str, ...] = ()
+    declared: Tuple[DurabilityDeclaration, ...] = ()
+
+
+@dataclass(frozen=True)
 class SnapshotArtifactSpec:
     """One declared snapshot artifact, cross-checked against the registry.
 
@@ -229,10 +335,18 @@ class LeakageSpec:
     crypto_policy: Optional[CryptoPolicy] = None
     concurrency: Optional[ConcurrencyPolicy] = None
     resource_protocols: Optional[ResourceProtocolsPolicy] = None
+    volume_surface: Optional[VolumeSurfacePolicy] = None
+    durability_protocol: Optional[DurabilityProtocolPolicy] = None
     path: str = ""
 
     def documented_pairs(self) -> Set[Tuple[str, str]]:
         return {(d.taint, d.sink) for d in self.documented}
+
+    def volume_kinds(self) -> FrozenSet[str]:
+        """Taint kinds of the size-provenance domain (empty when off)."""
+        if self.volume_surface is None:
+            return frozenset()
+        return self.volume_surface.volume_kinds()
 
     def sink_ids(self) -> Set[str]:
         return {s.sink for s in self.sinks}
@@ -336,6 +450,61 @@ class LeakageSpec:
                     "resource_protocols: residue_handlers declared without "
                     "any residue_sensitive callables"
                 )
+        if self.volume_surface is not None:
+            vol = self.volume_surface
+            vkinds = vol.volume_kinds()
+            for cat in vol.categories:
+                if cat not in SINK_CATEGORIES:
+                    problems.append(
+                        f"volume_surface: unknown sink category {cat!r}"
+                    )
+            for dec in vol.declared:
+                label = f"volume_surface declared {dec.taint}->{dec.sinks}"
+                if dec.taint not in vkinds:
+                    problems.append(
+                        f"{label}: taint must be one of {sorted(vkinds)}"
+                    )
+                for sink_id in dec.sinks:
+                    if sink_id not in ids:
+                        problems.append(f"{label}: unknown sink id {sink_id!r}")
+                if not dec.source:
+                    problems.append(f"{label}: missing source expression")
+                if not dec.granularity:
+                    problems.append(f"{label}: missing granularity")
+                if not dec.experiments:
+                    problems.append(
+                        f"{label}: needs at least one experiment reference"
+                    )
+        if self.durability_protocol is not None:
+            dur = self.durability_protocol
+            if dur.logged_mutators and not (dur.appends and dur.mutations):
+                problems.append(
+                    "durability_protocol: logged_mutators need both appends "
+                    "and mutations declared"
+                )
+            if dur.commit_functions and not (
+                dur.commit_appends and dur.flushes
+            ):
+                problems.append(
+                    "durability_protocol: commit_functions need both "
+                    "commit_appends and flushes declared"
+                )
+            for dec in dur.declared:
+                if dec.rule not in DURABILITY_RULES:
+                    problems.append(
+                        f"durability_protocol declared entry: unknown rule "
+                        f"{dec.rule!r}"
+                    )
+                if not dec.function or not dec.call:
+                    problems.append(
+                        "durability_protocol declared entry: needs both "
+                        "function and call"
+                    )
+                if not dec.reason:
+                    problems.append(
+                        f"durability_protocol declared "
+                        f"{dec.rule} at {dec.function}: needs a reason"
+                    )
         seen_artifacts: Set[str] = set()
         for art in self.snapshot_artifacts:
             if art.name in seen_artifacts:
@@ -588,9 +757,159 @@ def load_spec(path) -> LeakageSpec:
             ),
         )
 
+    taints = dict(raw.get("taints", {}))
+
+    volume_surface = None
+    raw_volume = raw.get("volume_surface")
+    if raw_volume is not None:
+        if not isinstance(raw_volume, dict):
+            raise AnalysisError(f"{path}: volume_surface must be an object/table")
+        declared_volume = []
+        for i, entry in enumerate(raw_volume.get("declared", [])):
+            try:
+                declared_volume.append(
+                    VolumeDeclaration(
+                        taint=entry["taint"],
+                        sinks=_as_tuple(
+                            entry["sinks"], f"volume_surface.declared[{i}].sinks"
+                        ),
+                        source=entry["source"],
+                        granularity=entry["granularity"],
+                        experiments=_as_tuple(
+                            entry.get("experiments"),
+                            f"volume_surface.declared[{i}].experiments",
+                        ),
+                        note=entry.get("note", ""),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}: volume_surface.declared[{i}] malformed: {exc}"
+                ) from exc
+        volume_surface = VolumeSurfacePolicy(
+            length_taint=str(raw_volume.get("length_taint", "volume.length")),
+            duration_taint=str(
+                raw_volume.get("duration_taint", "volume.duration")
+            ),
+            duration_sources=_as_tuple(
+                raw_volume.get("duration_sources"),
+                "volume_surface.duration_sources",
+            ),
+            categories=_as_tuple(
+                raw_volume.get(
+                    "categories",
+                    ["persistence", "telemetry", "diagnostic", "capture"],
+                ),
+                "volume_surface.categories",
+            ),
+            declared=tuple(declared_volume),
+        )
+        # The volume kinds join the taint vocabulary so documented flows,
+        # sources, and the volume declarations all validate against them.
+        taints.setdefault(
+            volume_surface.length_taint,
+            "size/cardinality of secret-derived data (len(), row counts)",
+        )
+        taints.setdefault(
+            volume_surface.duration_taint,
+            "wall-clock duration of secret-dependent work",
+        )
+        # Sink overlay: entries naming an existing sink callable widen its
+        # observed params (union); entries with a sink id + category add a
+        # new sink. Done at load time so the taint engine needs no
+        # volume-specific sink handling.
+        by_callable = {s.callable: idx for idx, s in enumerate(sinks)}
+        for i, entry in enumerate(raw_volume.get("sinks", [])):
+            try:
+                cal = entry["callable"]
+                extra = _as_tuple(
+                    entry.get("params"), f"volume_surface.sinks[{i}].params"
+                )
+                if cal in by_callable:
+                    idx = by_callable[cal]
+                    prev = sinks[idx]
+                    merged = (
+                        tuple(dict.fromkeys(prev.params + extra))
+                        if prev.params
+                        else ()
+                    )
+                    sinks[idx] = SinkSpec(
+                        callable=prev.callable,
+                        sink=prev.sink,
+                        category=prev.category,
+                        params=merged,
+                        note=prev.note,
+                    )
+                else:
+                    sinks.append(
+                        SinkSpec(
+                            callable=cal,
+                            sink=entry["sink"],
+                            category=entry["category"],
+                            params=extra,
+                            note=entry.get("note", ""),
+                        )
+                    )
+                    by_callable[cal] = len(sinks) - 1
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}: volume_surface.sinks[{i}] malformed: {exc}"
+                ) from exc
+
+    durability_protocol = None
+    raw_dur = raw.get("durability_protocol")
+    if raw_dur is not None:
+        if not isinstance(raw_dur, dict):
+            raise AnalysisError(
+                f"{path}: durability_protocol must be an object/table"
+            )
+        declared_dur = []
+        for i, entry in enumerate(raw_dur.get("declared", [])):
+            try:
+                declared_dur.append(
+                    DurabilityDeclaration(
+                        rule=entry["rule"],
+                        function=entry["function"],
+                        call=entry["call"],
+                        reason=entry["reason"],
+                        experiments=_as_tuple(
+                            entry.get("experiments"),
+                            f"durability_protocol.declared[{i}].experiments",
+                        ),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}: durability_protocol.declared[{i}] malformed: {exc}"
+                ) from exc
+        durability_protocol = DurabilityProtocolPolicy(
+            appends=_as_tuple(
+                raw_dur.get("appends"), "durability_protocol.appends"
+            ),
+            flushes=_as_tuple(
+                raw_dur.get("flushes"), "durability_protocol.flushes"
+            ),
+            commit_appends=_as_tuple(
+                raw_dur.get("commit_appends"),
+                "durability_protocol.commit_appends",
+            ),
+            mutations=_as_tuple(
+                raw_dur.get("mutations"), "durability_protocol.mutations"
+            ),
+            logged_mutators=_as_tuple(
+                raw_dur.get("logged_mutators"),
+                "durability_protocol.logged_mutators",
+            ),
+            commit_functions=_as_tuple(
+                raw_dur.get("commit_functions"),
+                "durability_protocol.commit_functions",
+            ),
+            declared=tuple(declared_dur),
+        )
+
     spec = LeakageSpec(
         package=package,
-        taints=dict(raw.get("taints", {})),
+        taints=taints,
         sources=sources,
         sinks=sinks,
         documented=documented,
@@ -605,6 +924,8 @@ def load_spec(path) -> LeakageSpec:
         crypto_policy=crypto_policy,
         concurrency=concurrency,
         resource_protocols=resource_protocols,
+        volume_surface=volume_surface,
+        durability_protocol=durability_protocol,
         path=str(path),
     )
     problems = spec.validate()

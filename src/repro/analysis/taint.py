@@ -229,6 +229,19 @@ class TaintEngine:
         if spec.crypto_policy is not None:
             nonce_params.update(spec.crypto_policy.nonce_params)
         self.nonce_params: FrozenSet[str] = frozenset(nonce_params)
+        # Size-provenance (volume) domain: only active when the spec carries
+        # a volume_surface section. ``len()`` of tainted data yields the
+        # length kind; declared wall-clock sources yield the duration kind.
+        vol = spec.volume_surface
+        self.volume_length_kind: Optional[str] = None
+        self.volume_duration_kind: Optional[str] = None
+        self.volume_kind_set: FrozenSet[str] = _EMPTY
+        self.volume_duration_sources: FrozenSet[str] = frozenset()
+        if vol is not None:
+            self.volume_length_kind = vol.length_taint
+            self.volume_duration_kind = vol.duration_taint
+            self.volume_kind_set = vol.volume_kinds()
+            self.volume_duration_sources = frozenset(vol.duration_sources)
         self._bind_spec()
 
         self.param_kinds: Dict[str, Dict[str, Set[str]]] = {}
@@ -906,6 +919,30 @@ class TaintEngine:
         if prev is None or (line, source_qual) < prev:
             c.source_notes[taint] = (line, source_qual)
 
+    def _duration_source_name(
+        self, func: ast.expr, env: Dict[str, Value]
+    ) -> Optional[str]:
+        """Match a call target against the declared duration sources.
+
+        Returns the absolute dotted name (import aliases expanded) when the
+        call is ``time.perf_counter()``-style and declared, else ``None``.
+        """
+        dotted: Optional[str] = None
+        if isinstance(func, ast.Name):
+            dotted = func.id
+        elif isinstance(func, ast.Attribute):
+            dotted = _dotted_name(func)
+        if not dotted:
+            return None
+        root = dotted.split(".")[0]
+        if root in env:
+            return None
+        if self._module is not None:
+            expanded = self._module.imports.get(root)
+            if expanded is not None:
+                dotted = expanded + dotted[len(root):]
+        return dotted if dotted in self.volume_duration_sources else None
+
     # -- calls -------------------------------------------------------------
 
     def _call(self, node: ast.Call, env: Dict[str, Value]) -> Value:
@@ -915,10 +952,24 @@ class TaintEngine:
         func = node.func
         if isinstance(func, ast.Name):
             if func.id in _CLEAN_BUILTINS and func.id not in env:
+                clean_kinds: FrozenSet[str] = _EMPTY
                 for arg in node.args:
-                    self._expr(arg, env)
+                    clean_kinds |= self._expr(arg, env).kinds
                 for kw in node.keywords:
-                    self._expr(kw.value, env)
+                    clean_kinds |= self._expr(kw.value, env).kinds
+                # Volume domain: the *size* of tainted data is itself a
+                # leak channel (Poddar et al.) — ``len(rows)`` replaces the
+                # payload kinds with the length kind rather than dropping
+                # them.
+                if (
+                    func.id == "len"
+                    and self.volume_length_kind is not None
+                    and clean_kinds - self.volume_kind_set
+                ):
+                    self._note_source(
+                        "len()", self.volume_length_kind, node.lineno
+                    )
+                    return Value(frozenset((self.volume_length_kind,)))
                 return EMPTY_VALUE
             if func.id not in env:
                 target = self.resolver.resolve_dotted(self._module, func.id)
@@ -949,6 +1000,21 @@ class TaintEngine:
                             target = method.qualname
         else:
             self._expr(func, env)
+
+        # Declared wall-clock sources (``time.perf_counter`` and friends)
+        # live outside the analyzed package, so they are matched here by
+        # dotted name once normal resolution has failed.
+        if target is None and self.volume_duration_kind is not None:
+            clock = self._duration_source_name(func, env)
+            if clock is not None:
+                for arg in node.args:
+                    self._expr(arg, env)
+                for kw in node.keywords:
+                    self._expr(kw.value, env)
+                self._note_source(
+                    clock, self.volume_duration_kind, node.lineno
+                )
+                return Value(frozenset((self.volume_duration_kind,)))
 
         # First-class function references: ``provider.capture(server)`` or a
         # local ``fn(server)`` where ``fn`` holds functions recorded through

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError, ServerError
+from ..obs.instrumentation import Instrumentation
 from ..sql.ast import (
     Aggregate,
     BetweenCondition,
@@ -95,7 +96,7 @@ def filter_rows(
     rows: Sequence[Row],
     where: Optional[WhereClause],
     udfs: Optional[UdfRegistry] = None,
-    instr=None,
+    instr: Optional[Instrumentation] = None,
 ) -> List[Row]:
     """Filter ``rows`` through the WHERE clause, with filter-stage metrics.
 

@@ -1,0 +1,1 @@
+"""Known-bad fixture: one function per durability-ordering rule."""

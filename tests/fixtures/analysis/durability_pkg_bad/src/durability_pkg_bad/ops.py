@@ -1,0 +1,23 @@
+"""One function per durability violation kind."""
+
+from .wal import Tree, Wal
+
+
+def unlogged_branch(wal: Wal, tree: Tree, key, row, cached: bool) -> None:
+    if cached:
+        tree.insert(key, row)  # fast path mutates without a WAL frame
+        return
+    wal.append_redo(key, row)
+    tree.insert(key, row)
+
+
+def unflushed_commit(wal: Wal, txn_id: int, is_write: bool) -> None:
+    wal.append_commit(txn_id)
+    if is_write:
+        wal.flush()  # the read-only path acks with the record staged
+
+
+def late_append(wal: Wal, txn_id: int, key, tail) -> None:
+    wal.append_commit(txn_id)
+    wal.flush()
+    wal.append_redo(key, tail)  # staged after the durability barrier

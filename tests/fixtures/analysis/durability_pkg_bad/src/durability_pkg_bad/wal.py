@@ -1,0 +1,27 @@
+"""Minimal WAL + tree surface for the durability fixtures."""
+
+from typing import Any, Dict, List, Tuple
+
+
+class Wal:
+    def __init__(self) -> None:
+        self.staged: List[Tuple[Any, ...]] = []
+        self.durable: List[Tuple[Any, ...]] = []
+
+    def append_redo(self, key: Any, row: Any) -> None:
+        self.staged.append(("redo", key, row))
+
+    def append_commit(self, txn_id: int) -> None:
+        self.staged.append(("commit", txn_id))
+
+    def flush(self) -> None:
+        self.durable.extend(self.staged)
+        self.staged.clear()
+
+
+class Tree:
+    def __init__(self) -> None:
+        self.rows: Dict[Any, Any] = {}
+
+    def insert(self, key: Any, row: Any) -> None:
+        self.rows[key] = row

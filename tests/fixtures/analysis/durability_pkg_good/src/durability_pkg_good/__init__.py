@@ -1,0 +1,1 @@
+"""Known-good fixture: correct WAL-ordering idioms plus one waived finding."""

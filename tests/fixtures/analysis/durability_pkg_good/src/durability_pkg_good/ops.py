@@ -1,0 +1,32 @@
+"""Correct WAL-ordering idioms: every check stays quiet (or is waived)."""
+
+from .wal import Tree, Wal
+
+
+def logged_insert(wal: Wal, tree: Tree, key, row) -> None:
+    wal.append_redo(key, row)
+    tree.insert(key, row)
+
+
+def mutate_then_log(wal: Wal, tree: Tree, key, row) -> None:
+    # Both orders are legal: the buffer pool's WAL rule covers write-back.
+    tree.insert(key, row)
+    wal.append_redo(key, row)
+
+
+def clr_first_rollback(wal: Wal, tree: Tree, changes) -> None:
+    for key, row in changes:
+        wal.append_clr(key, row)  # CLR frame precedes each undo mutation
+        tree.insert(key, row)
+
+
+def flushed_commit(wal: Wal, txn_id: int) -> None:
+    wal.append_commit(txn_id)
+    wal.flush()
+
+
+def group_commit(wal: Wal, txn_id: int, is_write: bool) -> None:
+    # Deliberate no-force for read-only transactions: waived in the spec.
+    wal.append_commit(txn_id)
+    if is_write:
+        wal.flush()

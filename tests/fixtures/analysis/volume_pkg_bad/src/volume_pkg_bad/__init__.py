@@ -1,0 +1,1 @@
+"""Known-bad fixture: size and duration flows with no volume_surface declarations."""

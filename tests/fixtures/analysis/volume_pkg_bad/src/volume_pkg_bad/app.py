@@ -1,0 +1,37 @@
+"""A store whose telemetry persists secret-derived sizes and timings."""
+
+import time
+from typing import Dict, List
+
+
+class Telemetry:
+    """Persisted counter store — the volume attacker reads it back."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+
+    def count(self, name: str, n: float = 0) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+
+class Store:
+    def __init__(self) -> None:
+        self._rows: List[str] = []
+        self.telemetry = Telemetry()
+
+    def put(self, value: str) -> None:
+        self._rows.append(value)
+
+    def scan_count(self) -> None:
+        # len() of the plaintext-tainted rows: volume.length born here.
+        self.telemetry.count("rows_examined", n=len(self._rows))
+
+    def timed_scan(self) -> List[str]:
+        start = time.perf_counter()
+        snapshot = list(self._rows)
+        self.telemetry.count("scan_seconds", n=time.perf_counter() - start)
+        return snapshot
+
+    def bump(self) -> None:
+        # Constant increment: no size provenance, must stay silent.
+        self.telemetry.count("queries", n=1)

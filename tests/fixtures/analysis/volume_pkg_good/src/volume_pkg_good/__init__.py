@@ -1,0 +1,1 @@
+"""Known-good fixture: the same flows as volume_pkg_bad, fully declared."""

@@ -24,6 +24,8 @@ class TestPassRegistry:
             "shared-state",
             "protocol",
             "lockset",
+            "volume-flows",
+            "durability-ordering",
         ]
 
     def test_rule_table_is_sorted_and_complete(self):
@@ -44,6 +46,10 @@ class TestPassRegistry:
             "protocol-unguarded-mutation",
             "protocol-undeclared-free",
             "lockset-race",
+            "volume-undeclared-flow",
+            "durability-unlogged-mutation",
+            "durability-unflushed-commit",
+            "durability-append-after-flush",
         }
         for meta in rules:
             assert meta.name and meta.short_description
